@@ -1,0 +1,34 @@
+"""Shared utilities for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper at laptop scale and
+writes the rendered artifact to ``benchmarks/results/``.  Sizes are scaled by
+the ``REPRO_SCALE`` environment variable (1.0 default; 10 approximates the
+paper's 10K-tuple samples).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scaled(base: int) -> int:
+    """Scale a sample size by REPRO_SCALE."""
+    return max(10, int(base * float(os.environ.get("REPRO_SCALE", "1"))))
+
+
+def save_artifact(name: str, content: str) -> Path:
+    """Write a rendered table/series to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+def banner(title: str, body: str) -> str:
+    """Title + body, also echoed to stdout for -s runs."""
+    text = f"== {title} ==\n{body}"
+    print("\n" + text)
+    return text

@@ -1,0 +1,64 @@
+"""Ablation — half-integral max-flow LP vs generic simplex for I_lin_R.
+
+DESIGN.md calls out the half-integral fast path as a design choice; this
+ablation verifies the two solvers return identical objectives on the same
+conflict graphs and compares their speed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.experiments import format_table
+from repro.solvers.halfintegral import vertex_cover_lp
+from repro.solvers.simplex import LpProblem, Sense, solve_lp
+
+from _common import banner, save_artifact, scaled
+
+
+def make_instance(num_vertices: int, num_edges: int, seed: int):
+    rng = random.Random(seed)
+    vertices = list(range(num_vertices))
+    edges = sorted(
+        {
+            tuple(sorted(rng.sample(vertices, 2)))
+            for _ in range(num_edges)
+        }
+    )
+    return vertices, edges
+
+
+def run_comparison():
+    rows = []
+    for size in (20, 40, scaled(80)):
+        vertices, edges = make_instance(size, 3 * size, seed=size)
+        start = time.perf_counter()
+        flow_value, _ = vertex_cover_lp(vertices, edges)
+        flow_time = time.perf_counter() - start
+
+        position = {v: i for i, v in enumerate(vertices)}
+        problem = LpProblem(
+            num_vars=len(vertices),
+            objective={i: 1.0 for i in range(len(vertices))},
+        )
+        for u, v in edges:
+            problem.add_row({position[u]: 1.0, position[v]: 1.0}, Sense.GE, 1.0)
+        start = time.perf_counter()
+        simplex = solve_lp(problem)
+        simplex_time = time.perf_counter() - start
+
+        assert abs(flow_value - simplex.objective) < 1e-7, size
+        rows.append([size, len(edges), flow_time, simplex_time])
+    return rows
+
+
+def test_bench_ablation_lp(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = format_table(
+        ["#vertices", "#edges", "maxflow LP (s)", "simplex LP (s)"], rows, precision=5
+    )
+    save_artifact("ablation_lp_paths", banner("Ablation: LP paths", table))
+    # The specialized path should not lose to the dense simplex at scale.
+    largest = rows[-1]
+    assert largest[2] <= largest[3] * 2 + 0.05

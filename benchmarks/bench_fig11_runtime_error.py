@@ -1,0 +1,49 @@
+"""Appendix Figure 11 — runtime vs error rate across datasets.
+
+Reproduces the appendix sweep on a subset of datasets: I_d/I_MI/I_P times
+are only mildly affected by the error rate while the exact I_R (and to a
+lesser degree I_lin_R) grows with it.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import generate_sample
+from repro.experiments import format_series, time_under_increasing_noise
+from repro.measures import make_measures
+from repro.noise import RNoise
+
+from _common import banner, save_artifact, scaled
+
+DATASETS = ("Hospital", "Airport", "Tax", "Flight")
+MEASURES = ("I_d", "I_MI", "I_P", "I_R", "I_lin_R")
+
+
+def run_all():
+    results = {}
+    for dataset in DATASETS:
+        database, constraints = generate_sample(dataset, scaled(120), seed=53)
+        noise = RNoise(constraints, alpha=0.2, beta=0.0, seed=13)
+        results[dataset] = time_under_increasing_noise(
+            database,
+            constraints,
+            noise,
+            make_measures(MEASURES),
+            iterations=16,
+            measure_every=8,
+            dataset_name=dataset,
+        )
+    return results
+
+
+def test_bench_fig11(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    blocks = []
+    for dataset, result in sorted(results.items()):
+        blocks.append(
+            f"[{dataset}]\n" + format_series(result.iterations, result.seconds, precision=5)
+        )
+        for name in MEASURES:
+            assert len(result.seconds[name]) == len(result.iterations)
+    save_artifact(
+        "fig11_runtime_error", banner("Figure 11 (runtime vs error rate)", "\n\n".join(blocks))
+    )

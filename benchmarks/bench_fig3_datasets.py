@@ -1,0 +1,37 @@
+"""Figure 3 — dataset statistics and constraint attribute overlap."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, summarize_all
+
+from _common import banner, save_artifact
+
+
+def compute_summaries():
+    return summarize_all()
+
+
+def test_bench_fig3(benchmark):
+    summaries = benchmark(compute_summaries)
+    assert len(summaries) == 8
+    rows = [
+        [
+            s.name,
+            s.paper_tuples,
+            s.num_attributes,
+            s.num_constraints,
+            s.overlap_min,
+            s.overlap_avg,
+            s.overlap_max,
+        ]
+        for s in summaries
+    ]
+    table = format_table(
+        ["dataset", "#tuples(paper)", "#atts", "#DCs", "ovl_min", "ovl_avg", "ovl_max"],
+        rows,
+        precision=2,
+    )
+    examples = "\n".join(
+        f"{s.name:9s} example DC: {s.example_constraint}" for s in summaries
+    )
+    save_artifact("fig3_datasets", banner("Figure 3", table + "\n\n" + examples))

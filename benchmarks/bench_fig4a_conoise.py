@@ -1,0 +1,68 @@
+"""Figure 4a — normalized measure behaviour under CONoise, all 8 datasets.
+
+Paper protocol: 200 CONoise iterations on 10K-tuple samples, measuring
+I_d, I_MI, I_P, I_R, I_lin_R each iteration.  Scaled down by default
+(REPRO_SCALE restores larger samples); the *shape* claims checked here are
+the paper's: I_d is a step function, I_MI/I_R/I_lin_R grow roughly
+monotonically, and I_lin_R never exceeds I_R.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import DATASET_ORDER, generate_sample
+from repro.experiments import format_series, run_behavior_experiment, sparkline
+from repro.measures import FIGURE_MEASURES, make_measures
+from repro.noise import CONoise
+
+from _common import banner, save_artifact, scaled
+
+ITERATIONS = 30
+MEASURE_EVERY = 5
+
+
+def run_all() -> dict:
+    results = {}
+    for name in DATASET_ORDER:
+        database, constraints = generate_sample(name, scaled(200), seed=42)
+        noise = CONoise(constraints, seed=1)
+        results[name] = run_behavior_experiment(
+            database,
+            constraints,
+            noise,
+            make_measures(FIGURE_MEASURES),
+            iterations=ITERATIONS,
+            measure_every=MEASURE_EVERY,
+            dataset_name=name,
+            noise_name="CONoise",
+        )
+    return results
+
+
+def check_shapes(results) -> None:
+    for name, result in results.items():
+        drastic = result.series["I_d"]
+        assert set(drastic) <= {0.0, 1.0}, name
+        assert drastic == sorted(drastic), f"{name}: I_d must be a step function"
+        for ir, lin in zip(result.series["I_R"], result.series["I_lin_R"]):
+            assert lin <= ir + 1e-9, name
+        # CONoise keeps injecting violations: the final state is dirty.
+        assert result.series["I_MI"][-1] > 0, name
+
+
+def test_bench_fig4a(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    check_shapes(results)
+    blocks = []
+    for name, result in results.items():
+        blocks.append(
+            f"[{name}] violation ratio: {result.violation_ratio:.4f}\n"
+            + "\n".join(
+                f"  {m:8s} {sparkline(result.normalized()[m])}"
+                for m in FIGURE_MEASURES
+            )
+            + "\n"
+            + format_series(result.iterations, result.series)
+        )
+    save_artifact(
+        "fig4a_conoise", banner("Figure 4a (CONoise)", "\n\n".join(blocks))
+    )

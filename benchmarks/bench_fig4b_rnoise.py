@@ -1,0 +1,56 @@
+"""Figure 4b — normalized measure behaviour under RNoise (α=0.01, β=0)."""
+
+from __future__ import annotations
+
+from repro.datasets import DATASET_ORDER, generate_sample
+from repro.experiments import format_series, run_behavior_experiment, sparkline
+from repro.measures import FIGURE_MEASURES, make_measures
+from repro.noise import RNoise
+
+from _common import banner, save_artifact, scaled
+
+
+def run_all() -> dict:
+    results = {}
+    for name in DATASET_ORDER:
+        database, constraints = generate_sample(name, scaled(200), seed=43)
+        noise = RNoise(constraints, alpha=0.05, beta=0.0, seed=2)
+        iterations = noise.total_iterations(database)
+        results[name] = run_behavior_experiment(
+            database,
+            constraints,
+            noise,
+            make_measures(FIGURE_MEASURES),
+            iterations=iterations,
+            measure_every=max(1, iterations // 6),
+            dataset_name=name,
+            noise_name="RNoise(α,β=0)",
+        )
+    return results
+
+
+def check_shapes(results) -> None:
+    for name, result in results.items():
+        for ir, lin in zip(result.series["I_R"], result.series["I_lin_R"]):
+            assert lin <= ir + 1e-9, name
+        # Random cell noise on constrained attributes dirties every dataset.
+        assert result.series["I_d"][-1] == 1.0, name
+
+
+def test_bench_fig4b(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    check_shapes(results)
+    blocks = []
+    for name, result in results.items():
+        blocks.append(
+            f"[{name}] violation ratio: {result.violation_ratio:.4f}\n"
+            + "\n".join(
+                f"  {m:8s} {sparkline(result.normalized()[m])}"
+                for m in FIGURE_MEASURES
+            )
+            + "\n"
+            + format_series(result.iterations, result.series)
+        )
+    save_artifact(
+        "fig4b_rnoise", banner("Figure 4b (RNoise α, β=0)", "\n\n".join(blocks))
+    )

@@ -1,0 +1,79 @@
+"""Figure 5 — I_MC behaviour on 100-tuple samples (CONoise and RNoise).
+
+The paper runs I_MC only on tiny samples because counting maximal consistent
+subsets is #P-hard; several datasets still time out.  This bench reproduces
+both aspects: the jittery trajectories on datasets that finish, and budget
+exhaustion (the stand-in for the 24-hour timeout) on those that do not.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import generate_sample
+from repro.experiments import format_series, sparkline
+from repro.measures import MaximalConsistentMeasure
+from repro.noise import CONoise, RNoise
+from repro.solvers.cliques import EnumerationBudgetExceeded
+from repro.violations import build_violation_index
+
+from _common import banner, save_artifact
+
+DATASETS = ("Stock", "Hospital", "Food", "Airport", "Adult", "Flight", "Voter")
+SAMPLE = 60
+ITERATIONS = 20
+MEASURE_EVERY = 4
+BUDGET = 200_000
+
+
+def run_one(dataset: str, noise_name: str):
+    database, constraints = generate_sample(dataset, SAMPLE, seed=44)
+    if noise_name == "CONoise":
+        noise = CONoise(constraints, seed=3)
+    else:
+        noise = RNoise(constraints, alpha=0.2, beta=0.0, seed=3)
+    measure = MaximalConsistentMeasure(enumeration_limit=BUDGET)
+    iterations = [0]
+    values: list[float | None] = []
+    index = build_violation_index(constraints, database)
+    values.append(_evaluate(measure, constraints, database, index))
+    for iteration in range(1, ITERATIONS + 1):
+        noise.step(database)
+        if iteration % MEASURE_EVERY == 0:
+            iterations.append(iteration)
+            values.append(_evaluate(measure, constraints, database, None))
+    return iterations, values
+
+
+def _evaluate(measure, constraints, database, index):
+    try:
+        return measure.value(constraints, database, index)
+    except EnumerationBudgetExceeded:
+        return None  # the paper's "timeout"
+
+
+def run_all():
+    return {
+        (dataset, noise): run_one(dataset, noise)
+        for dataset in DATASETS
+        for noise in ("CONoise", "RNoise")
+    }
+
+
+def test_bench_fig5(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    blocks = []
+    for (dataset, noise), (iterations, values) in sorted(results.items()):
+        finite = [v for v in values if v is not None]
+        timeouts = sum(1 for v in values if v is None)
+        line = sparkline(finite) if finite else "(all timed out)"
+        blocks.append(
+            f"[{dataset} / {noise}] timeouts: {timeouts}/{len(values)}\n"
+            f"  I_MC {line}\n"
+            + format_series(
+                iterations,
+                {"I_MC": [v if v is not None else float("nan") for v in values]},
+            )
+        )
+        # Consistent samples must start at zero when they evaluate at all.
+        if values[0] is not None:
+            assert values[0] == 0.0, (dataset, noise)
+    save_artifact("fig5_imc", banner("Figure 5 (I_MC, small samples)", "\n\n".join(blocks)))

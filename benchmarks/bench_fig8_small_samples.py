@@ -1,0 +1,76 @@
+"""Appendix Figure 8 — all measures incl. I_MC on 100-tuple samples.
+
+Same protocol as Figure 4 but on tiny samples where I_MC can (sometimes)
+be evaluated alongside the others.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import generate_sample
+from repro.experiments import format_series, run_behavior_experiment, sparkline
+from repro.measures import MaximalConsistentMeasure, make_measures
+from repro.noise import CONoise, RNoise
+from repro.solvers.cliques import EnumerationBudgetExceeded
+from repro.violations import build_violation_index
+
+from _common import banner, save_artifact
+
+DATASETS = ("Stock", "Airport", "Tax")
+SAMPLE = 80
+ITERATIONS = 16
+MEASURE_EVERY = 4
+
+
+def run_all():
+    names = ["I_d", "I_MI", "I_P", "I_R", "I_lin_R"]
+    results = {}
+    for dataset in DATASETS:
+        for noise_name in ("CONoise", "RNoise"):
+            database, constraints = generate_sample(dataset, SAMPLE, seed=50)
+            noise = (
+                CONoise(constraints, seed=10)
+                if noise_name == "CONoise"
+                else RNoise(constraints, alpha=0.2, beta=0.0, seed=10)
+            )
+            result = run_behavior_experiment(
+                database,
+                constraints,
+                noise,
+                make_measures(names),
+                iterations=ITERATIONS,
+                measure_every=MEASURE_EVERY,
+                dataset_name=dataset,
+                noise_name=noise_name,
+            )
+            # I_MC separately, tolerating budget exhaustion.
+            imc = MaximalConsistentMeasure(enumeration_limit=100_000)
+            imc_values = []
+            index = build_violation_index(constraints, database)
+            try:
+                imc_values.append(imc.value(constraints, database, index))
+            except EnumerationBudgetExceeded:
+                imc_values.append(float("nan"))
+            result.series["I_MC(final)"] = imc_values
+            results[(dataset, noise_name)] = result
+    return results
+
+
+def test_bench_fig8(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    blocks = []
+    for (dataset, noise_name), result in sorted(results.items()):
+        main = {
+            name: series
+            for name, series in result.series.items()
+            if name != "I_MC(final)"
+        }
+        blocks.append(
+            f"[{dataset} / {noise_name}] final I_MC: "
+            f"{result.series['I_MC(final)'][0]}\n"
+            + "\n".join(
+                f"  {m:8s} {sparkline(result.normalized()[m])}" for m in main
+            )
+            + "\n"
+            + format_series(result.iterations, main)
+        )
+    save_artifact("fig8_small_samples", banner("Figure 8 (100-tuple samples)", "\n\n".join(blocks)))

@@ -1,0 +1,59 @@
+"""Table 1 — all measure values on the running-example databases D1 and D2.
+
+Regenerates every row of Table 1 and asserts the expected values, including
+the LP relaxation of Example 9 and the update-repair column (under the
+paper's attribute restriction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.example1 import (
+    TABLE1_EXPECTED,
+    TABLE1_UPDATE_ATTRIBUTES,
+    airport_constraints,
+    noisy_database_d1,
+    noisy_database_d2,
+)
+from repro.experiments import format_table
+from repro.measures import make_measure
+from repro.measures.minimal_repair import MinimumUpdateRepairMeasure
+from repro.violations import build_violation_index
+
+from _common import banner, save_artifact
+
+ROW_ORDER = ("I_d", "I_R", "I_R_upd", "I_MI", "I_P", "I_MC", "I_lin_R")
+
+
+def compute_table1() -> list[list]:
+    constraints = airport_constraints()
+    databases = {"D1": noisy_database_d1(), "D2": noisy_database_d2()}
+    indexes = {
+        name: build_violation_index(constraints, db)
+        for name, db in databases.items()
+    }
+    rows = []
+    for measure_name in ROW_ORDER:
+        if measure_name == "I_R_upd":
+            measure = MinimumUpdateRepairMeasure(
+                updatable_attributes=TABLE1_UPDATE_ATTRIBUTES
+            )
+        else:
+            measure = make_measure(measure_name)
+        row = [measure_name]
+        for db_name in ("D1", "D2"):
+            value = measure.value(
+                constraints, databases[db_name], indexes[db_name]
+            )
+            expected = TABLE1_EXPECTED[(measure_name, db_name)]
+            assert value == pytest.approx(expected), (measure_name, db_name)
+            row.append(value)
+        rows.append(row)
+    return rows
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(compute_table1)
+    table = format_table(["measure", "D1", "D2"], rows, precision=1)
+    save_artifact("table1_running_example", banner("Table 1", table))

@@ -1,0 +1,70 @@
+"""Table 3 — running times of every measure on every dataset.
+
+Paper protocol: each dataset receives #tuples/1000 CONoise iterations, then
+every measure is timed (I_MC excluded — it times out everywhere, which the
+bench reproduces via its enumeration budget on a small probe).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import DATASET_ORDER, generate_sample
+from repro.experiments import format_table, time_measures
+from repro.measures import make_measure, make_measures
+from repro.noise import CONoise
+
+from _common import banner, save_artifact, scaled
+
+MEASURES = ("I_d", "I_R", "I_MI", "I_P", "I_lin_R")
+
+
+def run_table3():
+    rows = {}
+    for name in DATASET_ORDER:
+        size = scaled(250)
+        database, constraints = generate_sample(name, size, seed=48)
+        CONoise(constraints, seed=8).run(database, max(1, size // 50))
+        rows[name] = time_measures(
+            database,
+            constraints,
+            make_measures(MEASURES),
+            dataset_name=name,
+        )
+    return rows
+
+
+def test_bench_table3(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", *MEASURES],
+        [
+            [name, *(rows[name].seconds.get(m, float("nan")) for m in MEASURES)]
+            for name in rows
+        ],
+        precision=4,
+    )
+    save_artifact("table3_runtimes", banner("Table 3 (running times, sec)", table))
+    for name, row in rows.items():
+        assert set(row.seconds) == set(MEASURES), name
+        # The paper's structural claim: the shared conflict-detection work
+        # dominates, so I_MI is never dramatically cheaper than I_d.
+        assert row.seconds["I_MI"] <= row.seconds["I_R"] * 50 + 1.0
+
+
+def test_bench_table3_imc_times_out(benchmark):
+    """I_MC exceeds its budget already on a modest noisy sample."""
+    from repro.solvers.cliques import EnumerationBudgetExceeded
+
+    database, constraints = generate_sample("Hospital", 120, seed=49)
+    CONoise(constraints, seed=9).run(database, 40)
+    measure = make_measure("I_MC")
+    measure.enumeration_limit = 10_000
+
+    def attempt():
+        try:
+            measure.value(constraints, database)
+            return False
+        except EnumerationBudgetExceeded:
+            return True
+
+    timed_out = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    assert timed_out

@@ -1,0 +1,54 @@
+"""Action prioritization: which facts should a cleaner look at first?
+
+The paper's introduction proposes addressing "the tuples that have the
+highest responsibility to the inconsistency level (e.g., Shapley value for
+inconsistency)".  This example noises a dataset, ranks facts by Shapley
+blame, and shows that repairing in blame order reduces inconsistency much
+faster than repairing in arbitrary order.
+
+Run with:  python examples/action_prioritization.py
+"""
+
+from repro.datasets import generate_sample
+from repro.measures import make_measure, shapley_values_mi
+from repro.noise import CONoise
+from repro.violations import build_violation_index
+
+
+def inconsistency_after_deletions(constraints, database, order, budget):
+    working = database.copy()
+    for identifier in order[:budget]:
+        working.delete(identifier)
+    return make_measure("I_MI").value(constraints, working)
+
+
+def main() -> None:
+    database, constraints = generate_sample("Hospital", 150, seed=5)
+    CONoise(constraints, seed=6).run(database, 20)
+    index = build_violation_index(constraints, database)
+    initial = float(len(index.mi_sets))
+    print(f"Dirty database: {len(database)} facts, I_MI = {initial:.0f}\n")
+
+    blame = shapley_values_mi(constraints, database)
+    by_blame = [i for i, _ in sorted(blame.items(), key=lambda kv: -kv[1])]
+    by_id = sorted(index.problematic)
+
+    print("Top 5 facts by Shapley blame:")
+    for identifier in by_blame[:5]:
+        print(f"  #{identifier} blame={blame[identifier]:.2f}")
+
+    print("\nI_MI after deleting k facts (blame order vs arbitrary order):")
+    print(f"  {'k':>3s} {'blame-first':>12s} {'arbitrary':>10s}")
+    for budget in (1, 2, 4, 8):
+        smart = inconsistency_after_deletions(constraints, database, by_blame, budget)
+        naive = inconsistency_after_deletions(constraints, database, by_id, budget)
+        print(f"  {budget:3d} {smart:12.0f} {naive:10.0f}")
+
+    print(
+        "\nBlame-ordered repair removes the high-responsibility hubs first,\n"
+        "so the same budget buys a much larger inconsistency reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

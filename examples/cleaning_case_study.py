@@ -1,0 +1,50 @@
+"""The HoloClean case study (Figure 7) as a runnable script.
+
+Noises a Hospital sample, then cleans it incrementally — one denial
+constraint at a time — printing every measure after each step, exactly the
+protocol of §6.2.2.
+
+Run with:  python examples/cleaning_case_study.py
+"""
+
+from repro.cleaning import run_incremental_pipeline
+from repro.datasets import generate_sample
+from repro.experiments import format_series, sparkline
+from repro.measures import FIGURE_MEASURES, make_measures
+from repro.noise import RNoise
+
+
+def main() -> None:
+    database, constraints = generate_sample("Hospital", 150, seed=11)
+    noise = RNoise(constraints, alpha=0.04, seed=12)
+    noise.run(database)
+    print(f"Noised Hospital sample: {len(database)} tuples, "
+          f"{len(constraints)} DCs\n")
+
+    result = run_incremental_pipeline(
+        database, constraints, make_measures(FIGURE_MEASURES), seed=0
+    )
+
+    print("Constraint order:")
+    for step, name in enumerate(result.constraint_names, start=1):
+        report = result.reports[step - 1]
+        print(
+            f"  step {step}: +{name} "
+            f"(repaired {report.cells_repaired} cells, "
+            f"violations {report.violations_before} -> {report.violations_after})"
+        )
+
+    print("\nMeasure trajectories (normalized sparklines):")
+    for name, series in result.normalized().items():
+        print(f"  {name:8s} {sparkline(series)}")
+
+    steps = list(range(len(result.series["I_MI"])))
+    print("\n" + format_series(steps, result.series, precision=1))
+    print(
+        "\nNote how I_R and I_lin_R decay smoothly while I_d stays flat at 1\n"
+        "until the very last step — the paper's Figure 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

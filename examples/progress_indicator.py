@@ -1,0 +1,56 @@
+"""Progress indication for a cleaning session (the paper's motivating use).
+
+A repair loop deletes one problematic fact at a time; at each step we render
+a progress bar from each measure.  The demo makes the paper's point visible:
+``I_d`` gives no progress signal at all, ``I_P`` jumps, while ``I_R`` and
+``I_lin_R`` tick down smoothly (bounded continuity + progression).
+
+Run with:  python examples/progress_indicator.py
+"""
+
+from repro.datasets import generate_sample
+from repro.measures import make_measures
+from repro.noise import CONoise
+from repro.repairs import minimum_subset_repair
+from repro.violations import build_violation_index
+
+MEASURES = ("I_d", "I_MI", "I_P", "I_R", "I_lin_R")
+BAR_WIDTH = 28
+
+
+def bar(fraction: float) -> str:
+    filled = int(round(BAR_WIDTH * max(0.0, min(1.0, fraction))))
+    return "#" * filled + "." * (BAR_WIDTH - filled)
+
+
+def main() -> None:
+    database, constraints = generate_sample("Hospital", 150, seed=1)
+    CONoise(constraints, seed=2).run(database, 25)
+
+    measures = make_measures(MEASURES)
+    index = build_violation_index(constraints, database)
+    initial = {
+        m.name: m.value(constraints, database, index) or 1.0 for m in measures
+    }
+    print("Initial inconsistency:", {k: round(v, 1) for k, v in initial.items()})
+
+    # Repair plan: delete the facts of an optimal subset repair one by one.
+    repair = minimum_subset_repair(constraints, database, index=index)
+    plan = repair.operations()
+    print(f"Optimal repair deletes {len(plan)} facts; cleaning...\n")
+
+    for step, operation in enumerate(plan, start=1):
+        operation.apply_in_place(database)
+        index = build_violation_index(constraints, database)
+        print(f"after deletion {step}/{len(plan)}:")
+        for measure in measures:
+            value = measure.value(constraints, database, index)
+            remaining = value / initial[measure.name] if initial[measure.name] else 0
+            print(f"  {measure.name:8s} [{bar(1 - remaining)}] {value:8.1f}")
+        print()
+
+    print("Database is now consistent:", index.is_consistent())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: measure the inconsistency of a small database.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Database, Schema, available_measures, measure, parse_fd
+from repro.repairs import minimum_subset_repair
+from repro.violations import build_violation_index
+
+
+def main() -> None:
+    # A city registry with a functional dependency City -> Country.
+    schema = Schema.from_dict({"City": ["Name", "Country", "Population"]})
+    database = Database.from_rows(
+        schema,
+        "City",
+        [
+            ("Paris", "France", 2_100_000),
+            ("Paris", "Germany", 9_000),       # conflicting country
+            ("Lyon", "France", 520_000),
+            ("Berlin", "Germany", 3_600_000),
+            ("Berlin", "Belgium", 1_200),      # conflicting country
+        ],
+    )
+    fd = parse_fd("City: Name -> Country")
+
+    print("Database has", len(database), "facts")
+    index = build_violation_index([fd], database)
+    print("Minimal inconsistent subsets:", [sorted(s) for s in index.mi_sets])
+
+    print("\nInconsistency measures:")
+    for name in ("I_d", "I_MI", "I_P", "I_MC", "I_R", "I_lin_R"):
+        print(f"  {name:8s} = {measure(name, [fd], database)}")
+
+    repair = minimum_subset_repair([fd], database)
+    print("\nAn optimal deletion repair removes facts:", sorted(repair.deleted_ids))
+    for identifier in sorted(repair.deleted_ids):
+        print("   ", database[identifier])
+
+    print("\nAll registered measures:", ", ".join(available_measures()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Cleaning: the HoloClean substitute and the incremental pipeline (Fig. 7)."""
+
+from .holoclean import CleaningReport, MiniHoloClean
+from .pipeline import PipelineResult, run_incremental_pipeline
+
+__all__ = [
+    "CleaningReport",
+    "MiniHoloClean",
+    "PipelineResult",
+    "run_incremental_pipeline",
+]

@@ -1,0 +1,292 @@
+"""A minimal HoloClean-style statistical cleaner (the §6.2.2 substitute).
+
+HoloClean (Rekatsinas et al., PVLDB 2017) detects cells implicated in
+constraint violations, generates candidate values, and picks repairs by
+probabilistic inference over soft constraints and co-occurrence statistics.
+This substitute keeps that pipeline shape:
+
+1. **Detect** — cells of facts in minimal violations, restricted to the
+   attributes the violated constraint reads;
+2. **Candidates** — the attribute's active-domain values;
+3. **Score** — a weighted sum of (a) the violation mass the candidate would
+   leave, treating constraints as *soft* rules, and (b) the candidate's
+   co-occurrence support against the tuple's other attributes;
+4. **Repair** — apply the best candidate when it beats the current value.
+
+Like HoloClean it is one-shot and approximate: it does not guarantee
+consistency, only a large reduction in violation mass on FD-style noise —
+the property the Figure 7 case study relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..constraints.dc import DenialConstraint
+from ..relational.database import Database
+from ..relational.values import Value
+from ..violations.minimal import build_violation_index, lower_constraints
+
+
+@dataclass
+class CleaningReport:
+    """Summary of one cleaning pass."""
+
+    cells_examined: int
+    cells_repaired: int
+    violations_before: int
+    violations_after: int
+
+
+class MiniHoloClean:
+    """One-shot statistical repair over soft denial constraints."""
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        violation_weight: float = 0.8,
+        cooccurrence_weight: float = 0.2,
+        max_candidates: int = 24,
+        seed: int | None = None,
+    ) -> None:
+        self.constraints = list(constraints)
+        self.violation_weight = violation_weight
+        self.cooccurrence_weight = cooccurrence_weight
+        self.max_candidates = max_candidates
+        self.rng = random.Random(seed)
+
+    def clean(self, database: Database) -> CleaningReport:
+        """Repair *database* in place; returns a summary report."""
+        dcs = lower_constraints(self.constraints, database.schema)
+        index = build_violation_index(self.constraints, database)
+        before = len(index.mi_sets)
+        noisy_cells = self._detect_cells(database, index)
+        statistics = _CooccurrenceStats(database)
+
+        repaired = 0
+        for identifier, attribute in sorted(noisy_cells):
+            if identifier not in database:
+                continue
+            if self._repair_cell(database, dcs, statistics, identifier, attribute):
+                repaired += 1
+        after = len(build_violation_index(self.constraints, database).mi_sets)
+        return CleaningReport(
+            cells_examined=len(noisy_cells),
+            cells_repaired=repaired,
+            violations_before=before,
+            violations_after=after,
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _detect_cells(self, database: Database, index) -> set[tuple[int, str]]:
+        cells: set[tuple[int, str]] = set()
+        for violation in index.per_constraint:
+            attributes = {
+                attribute
+                for _, attribute in violation.constraint.attributes_involved()
+            }
+            for identifier in violation.fact_ids:
+                fact = database[identifier]
+                signature = database.schema.signature(fact.relation)
+                for attribute in signature.attributes:
+                    if attribute in attributes:
+                        cells.add((identifier, attribute))
+        return cells
+
+    def _repair_cell(
+        self,
+        database: Database,
+        dcs: list[DenialConstraint],
+        statistics: "_CooccurrenceStats",
+        identifier: int,
+        attribute: str,
+    ) -> bool:
+        fact = database[identifier]
+        current = database.get_cell(identifier, attribute)
+        domain = database.active_domain(fact.relation, attribute)
+        candidates = domain.values_by_frequency()[: self.max_candidates]
+        if current not in candidates:
+            candidates = [current] + candidates
+
+        best_value = current
+        best_score = self._score(
+            database, dcs, statistics, identifier, attribute, current
+        )
+        for value in candidates:
+            if value == current:
+                continue
+            score = self._score(
+                database, dcs, statistics, identifier, attribute, value
+            )
+            if score > best_score + 1e-12:
+                best_score = score
+                best_value = value
+        if best_value != current:
+            database.update(identifier, attribute, best_value)
+            statistics.move(database, identifier, attribute, current, best_value)
+            return True
+        return False
+
+    def _score(
+        self,
+        database: Database,
+        dcs: list[DenialConstraint],
+        statistics: "_CooccurrenceStats",
+        identifier: int,
+        attribute: str,
+        value: Value,
+    ) -> float:
+        violation_penalty = self._local_violations(
+            database, dcs, identifier, attribute, value
+        )
+        support = statistics.support(database, identifier, attribute, value)
+        return (
+            -self.violation_weight * violation_penalty
+            + self.cooccurrence_weight * support
+        )
+
+    def _local_violations(
+        self,
+        database: Database,
+        dcs: list[DenialConstraint],
+        identifier: int,
+        attribute: str,
+        value: Value,
+    ) -> float:
+        """Number of witnesses involving fact *identifier* if the cell took
+        *value* — the soft-constraint energy term."""
+        fact = database[identifier]
+        signature = database.schema.signature(fact.relation)
+        hypothetical = fact.with_value(signature, attribute, value)
+        count = 0
+        for dc in dcs:
+            if (fact.relation, attribute) not in dc.attributes_involved():
+                continue
+            count += _witnesses_with(database, dc, identifier, hypothetical)
+        return float(count)
+
+
+def _witnesses_with(
+    database: Database,
+    dc: DenialConstraint,
+    identifier: int,
+    hypothetical_fact,
+) -> int:
+    """Count witnesses of *dc* that use the hypothetical fact for some
+    tuple variable (other variables range over the real database)."""
+    schema = database.schema
+    count = 0
+    variables = [variable for variable, _ in dc.variables]
+    relations = dict(dc.variables)
+    for pinned in variables:
+        if relations[pinned] != hypothetical_fact.relation:
+            continue
+        assignment = {pinned: hypothetical_fact}
+        free = [variable for variable in variables if variable != pinned]
+        count += _count_assignments(
+            database, dc, schema, assignment, free, identifier
+        )
+    return count
+
+
+def _count_assignments(
+    database, dc, schema, assignment, free, excluded_id
+) -> int:
+    if not free:
+        return 1 if dc.body_holds(assignment, schema) else 0
+    variable = free[0]
+    relation = dc.relation_of(variable)
+    total = 0
+    for other_id in database.relation_ids(relation):
+        if other_id == excluded_id:
+            continue
+        assignment[variable] = database[other_id]
+        total += _count_assignments(
+            database, dc, schema, assignment, free[1:], excluded_id
+        )
+        del assignment[variable]
+    return total
+
+
+class _CooccurrenceStats:
+    """Pairwise value co-occurrence counts within tuples.
+
+    ``support(cell, v)`` is the average, over the tuple's other attributes
+    ``B=b``, of ``P(A=v | B=b)`` estimated from the current database — the
+    same signal HoloClean's featurized inference uses.
+    """
+
+    def __init__(self, database: Database) -> None:
+        # counts[(relation, A, B)][(a, b)] = #tuples with A=a and B=b
+        self._counts: dict[tuple, Counter] = defaultdict(Counter)
+        self._marginals: dict[tuple, Counter] = defaultdict(Counter)
+        for _, fact in database.items():
+            signature = database.schema.signature(fact.relation)
+            attributes = signature.attributes
+            for i, a_attr in enumerate(attributes):
+                self._marginals[(fact.relation, a_attr)][fact.values[i]] += 1
+                for j, b_attr in enumerate(attributes):
+                    if i == j:
+                        continue
+                    self._counts[(fact.relation, a_attr, b_attr)][
+                        (fact.values[i], fact.values[j])
+                    ] += 1
+
+    def support(
+        self, database: Database, identifier: int, attribute: str, value: Value
+    ) -> float:
+        fact = database[identifier]
+        signature = database.schema.signature(fact.relation)
+        attributes = signature.attributes
+        scores = []
+        for j, other_attr in enumerate(attributes):
+            if other_attr == attribute:
+                continue
+            other_value = fact.values[j]
+            joint = self._counts[(fact.relation, attribute, other_attr)][
+                (value, other_value)
+            ]
+            marginal = self._marginals[(fact.relation, other_attr)][other_value]
+            if marginal:
+                scores.append(joint / marginal)
+        if not scores:
+            return 0.0
+        return sum(scores) / len(scores)
+
+    def move(
+        self,
+        database: Database,
+        identifier: int,
+        attribute: str,
+        old_value: Value,
+        new_value: Value,
+    ) -> None:
+        """Incremental statistics update after a repair."""
+        fact = database[identifier]
+        signature = database.schema.signature(fact.relation)
+        attributes = signature.attributes
+        index = signature.index_of(attribute)
+        self._marginals[(fact.relation, attribute)][old_value] -= 1
+        self._marginals[(fact.relation, attribute)][new_value] += 1
+        for j, other_attr in enumerate(attributes):
+            if j == index:
+                continue
+            other_value = fact.values[j]
+            self._counts[(fact.relation, attribute, other_attr)][
+                (old_value, other_value)
+            ] -= 1
+            self._counts[(fact.relation, attribute, other_attr)][
+                (new_value, other_value)
+            ] += 1
+            self._counts[(fact.relation, other_attr, attribute)][
+                (other_value, old_value)
+            ] -= 1
+            self._counts[(fact.relation, other_attr, attribute)][
+                (other_value, new_value)
+            ] += 1

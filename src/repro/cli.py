@@ -1,0 +1,125 @@
+"""Command-line interface: measure the inconsistency of a CSV file.
+
+Usage::
+
+    python -m repro data.csv --relation R \\
+        --fd "R: City -> Country" \\
+        --dc "not(t.High < t.Low)" \\
+        --measures I_d I_MI I_R I_lin_R
+
+Constraints come from ``--fd`` / ``--dc`` flags or from a constraints file
+(``--constraints rules.txt``) with one rule per line: ``fd: R: A -> B`` or
+``dc: not(t.A > t.B)``; blank lines and ``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .constraints import Constraint, parse_dc, parse_fd
+from .measures import available_measures, make_measure
+from .relational import Database, load_csv
+from .violations import build_violation_index
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Inconsistency measures for CSV data "
+        "(Livshits et al., SIGMOD 2021).",
+    )
+    parser.add_argument("csv", type=Path, help="CSV file with a header row")
+    parser.add_argument(
+        "--relation", default="R", help="relation name (default: R)"
+    )
+    parser.add_argument(
+        "--fd",
+        action="append",
+        default=[],
+        metavar="FD",
+        help='functional dependency, e.g. "R: City -> Country" (repeatable)',
+    )
+    parser.add_argument(
+        "--dc",
+        action="append",
+        default=[],
+        metavar="DC",
+        help='denial constraint, e.g. "not(t.High < t.Low)" (repeatable)',
+    )
+    parser.add_argument(
+        "--constraints",
+        type=Path,
+        help="file with one rule per line (fd: ... / dc: ...)",
+    )
+    parser.add_argument(
+        "--measures",
+        nargs="+",
+        default=["I_d", "I_MI", "I_P", "I_R", "I_lin_R"],
+        help=f"measures to compute; available: {', '.join(available_measures())}",
+    )
+    parser.add_argument(
+        "--top-violations",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also print the K facts with the highest I_MI Shapley blame",
+    )
+    return parser
+
+
+def load_constraints(args: argparse.Namespace) -> list[Constraint]:
+    constraints: list[Constraint] = []
+    for text in args.fd:
+        constraints.append(parse_fd(text))
+    for text in args.dc:
+        constraints.append(parse_dc(text, args.relation))
+    if args.constraints:
+        for line_number, raw in enumerate(
+            args.constraints.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            kind, _, body = line.partition(":")
+            body = body.strip()
+            if kind.strip().lower() == "fd":
+                constraints.append(parse_fd(body))
+            elif kind.strip().lower() == "dc":
+                constraints.append(parse_dc(body, args.relation))
+            else:
+                raise SystemExit(
+                    f"{args.constraints}:{line_number}: rules must start "
+                    "with 'fd:' or 'dc:'"
+                )
+    if not constraints:
+        raise SystemExit("no constraints given (use --fd/--dc/--constraints)")
+    return constraints
+
+
+def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    constraints = load_constraints(args)
+    database = load_csv(args.csv, args.relation)
+    index = build_violation_index(constraints, database)
+
+    print(f"facts: {len(database)}", file=out)
+    print(f"constraints: {len(constraints)}", file=out)
+    print(f"minimal inconsistent subsets: {len(index.mi_sets)}", file=out)
+    print(f"problematic facts: {len(index.problematic)}", file=out)
+    for name in args.measures:
+        measure = make_measure(name)
+        value = measure.value(constraints, database, index)
+        print(f"{name} = {value}", file=out)
+
+    if args.top_violations > 0 and index.mi_sets:
+        from .measures.shapley import shapley_values_mi
+
+        blame = shapley_values_mi(constraints, database)
+        ranked = sorted(blame.items(), key=lambda item: (-item[1], item[0]))
+        print(f"\ntop {args.top_violations} facts by I_MI Shapley blame:", file=out)
+        for identifier, share in ranked[: args.top_violations]:
+            print(f"  #{identifier}  blame={share:.3f}  {database[identifier]!r}", file=out)
+    return 0

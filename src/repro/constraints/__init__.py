@@ -1,0 +1,44 @@
+"""Integrity constraints: FDs, EGDs, denial constraints, parsing, entailment."""
+
+from .base import ComparisonOp, Constraint, ConstraintSystem, classify, overlap_ratios
+from .dc import DenialConstraint, Predicate, Term, binary_dc, unary_dc
+from .egd import Atom, EqualityGeneratingDependency, example8_egds
+from .entailment import entails, equivalent, find_entailment_counterexample
+from .ind import InclusionDependency, NotDenialExpressible
+from .fd import (
+    FunctionalDependency,
+    attribute_closure,
+    fd_entails,
+    fd_set_entails,
+    fd_sets_equivalent,
+)
+from .parser import ConstraintParseError, parse_dc, parse_fd
+
+__all__ = [
+    "Atom",
+    "ComparisonOp",
+    "Constraint",
+    "ConstraintParseError",
+    "ConstraintSystem",
+    "DenialConstraint",
+    "EqualityGeneratingDependency",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "NotDenialExpressible",
+    "Predicate",
+    "Term",
+    "attribute_closure",
+    "binary_dc",
+    "classify",
+    "entails",
+    "equivalent",
+    "example8_egds",
+    "fd_entails",
+    "fd_set_entails",
+    "fd_sets_equivalent",
+    "find_entailment_counterexample",
+    "overlap_ratios",
+    "parse_dc",
+    "parse_fd",
+    "unary_dc",
+]

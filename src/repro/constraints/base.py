@@ -1,0 +1,158 @@
+"""Constraint abstractions.
+
+An integrity constraint is a first-order sentence over the schema (paper,
+Section 2).  The library works with three concrete families — functional
+dependencies, equality-generating dependencies, and denial constraints — all
+of which are *anti-monotonic*: deleting tuples can never introduce a
+violation.  Every concrete constraint can lower itself to a denial constraint
+(:meth:`Constraint.to_dc`), which is the lingua franca of the violation
+detector.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dc import DenialConstraint
+
+
+class ComparisonOp(enum.Enum):
+    """The six comparison operators appearing in denial-constraint predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, left, right) -> bool:
+        """Apply the operator; NULLs and incomparable pairs yield False."""
+        from ..relational.values import values_comparable
+
+        if self in (ComparisonOp.EQ, ComparisonOp.NE):
+            if left is None or right is None:
+                return False
+            if self is ComparisonOp.EQ:
+                return left == right
+            return left != right
+        if not values_comparable(left, right):
+            return False
+        if self is ComparisonOp.LT:
+            return left < right
+        if self is ComparisonOp.LE:
+            return left <= right
+        if self is ComparisonOp.GT:
+            return left > right
+        return left >= right
+
+    def negated(self) -> "ComparisonOp":
+        """The complement operator (``<`` ↔ ``>=`` etc.)."""
+        return _NEGATIONS[self]
+
+    def flipped(self) -> "ComparisonOp":
+        """The operator with operands swapped (``<`` ↔ ``>``)."""
+        return _FLIPS[self]
+
+    @classmethod
+    def parse(cls, token: str) -> "ComparisonOp":
+        """Parse an operator token, accepting common aliases."""
+        normalized = _ALIASES.get(token, token)
+        for op in cls:
+            if op.value == normalized:
+                return op
+        raise ValueError(f"unknown comparison operator {token!r}")
+
+
+_NEGATIONS = {
+    ComparisonOp.EQ: ComparisonOp.NE,
+    ComparisonOp.NE: ComparisonOp.EQ,
+    ComparisonOp.LT: ComparisonOp.GE,
+    ComparisonOp.GE: ComparisonOp.LT,
+    ComparisonOp.GT: ComparisonOp.LE,
+    ComparisonOp.LE: ComparisonOp.GT,
+}
+
+_FLIPS = {
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GE: ComparisonOp.LE,
+}
+
+_ALIASES = {"==": "=", "<>": "!=", "≠": "!=", "≤": "<=", "≥": ">="}
+
+
+class Constraint(ABC):
+    """Base class for integrity constraints."""
+
+    @abstractmethod
+    def to_dc(self) -> "DenialConstraint":
+        """Lower this constraint to an equivalent denial constraint."""
+
+    @abstractmethod
+    def attributes_involved(self) -> set[tuple[str, str]]:
+        """``(relation, attribute)`` pairs this constraint reads."""
+
+    @property
+    def is_anti_monotonic(self) -> bool:
+        """All constraints in this library are anti-monotonic."""
+        return True
+
+    def overlaps(self, other: "Constraint") -> bool:
+        """True when the two constraints share an attribute (Figure 3 metric)."""
+        return bool(self.attributes_involved() & other.attributes_involved())
+
+
+class ConstraintSystem(enum.Enum):
+    """The constraint classes the paper distinguishes (C_FD, C_EGD, C_DC)."""
+
+    FD = "functional dependencies"
+    EGD = "equality-generating dependencies"
+    DC = "denial constraints"
+
+
+def classify(constraints: Iterable[Constraint]) -> ConstraintSystem:
+    """The narrowest constraint system containing every given constraint."""
+    from .dc import DenialConstraint
+    from .egd import EqualityGeneratingDependency
+    from .fd import FunctionalDependency
+
+    narrowest = ConstraintSystem.FD
+    for constraint in constraints:
+        if isinstance(constraint, FunctionalDependency):
+            continue
+        if isinstance(constraint, EqualityGeneratingDependency):
+            if narrowest is ConstraintSystem.FD:
+                narrowest = ConstraintSystem.EGD
+            continue
+        if isinstance(constraint, DenialConstraint):
+            narrowest = ConstraintSystem.DC
+            continue
+        raise TypeError(f"unsupported constraint type: {type(constraint).__name__}")
+    return narrowest
+
+
+def overlap_ratios(constraints: Sequence[Constraint]) -> list[float]:
+    """Per-constraint ratio of other constraints sharing an attribute.
+
+    This is the metric plotted on the right of Figure 3 (min/avg/max per
+    dataset).
+    """
+    total = len(constraints)
+    if total <= 1:
+        return [0.0] * total
+    ratios = []
+    for index, constraint in enumerate(constraints):
+        overlapping = sum(
+            1
+            for other_index, other in enumerate(constraints)
+            if other_index != index and constraint.overlaps(other)
+        )
+        ratios.append(overlapping / (total - 1))
+    return ratios

@@ -1,0 +1,194 @@
+"""Equality-generating dependencies.
+
+An EGD has the form ``forall x̄ [ φ1(x̄) ∧ ... ∧ φk(x̄) -> y1 = y2 ]`` where
+each ``φj`` is a relational atom and ``y1, y2 ∈ x̄``.  EGDs lower to denial
+constraints by negating the conclusion.
+
+The class also exposes the structural probes needed for the dichotomy of
+Theorem 1: for a single EGD with **two binary atoms**, computing ``I_R`` is
+NP-hard exactly when the EGD has the *path shape*
+``R(x1,x2), R(x2,x3) -> xi = xj`` (same relation on both atoms, chained
+through the shared middle variable, with the conclusion equating any two of
+the three distinct variables); every other two-binary-atom EGD admits a
+polynomial algorithm (Lemmas 2–4 in the appendix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .base import ComparisonOp, Constraint
+from .dc import DenialConstraint, Predicate, Term
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(v1, ..., vk)`` with variable names per position."""
+
+    relation: str
+    variables: tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+class EqualityGeneratingDependency(Constraint):
+    """An EGD ``atoms -> left_var = right_var``."""
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        left_var: str,
+        right_var: str,
+        name: str | None = None,
+    ) -> None:
+        if not atoms:
+            raise ValueError("an EGD needs at least one atom")
+        all_vars = {var for atom in atoms for var in atom.variables}
+        for conclusion_var in (left_var, right_var):
+            if conclusion_var not in all_vars:
+                raise ValueError(
+                    f"conclusion variable {conclusion_var!r} does not occur "
+                    f"in the atoms"
+                )
+        if left_var == right_var:
+            raise ValueError("trivial EGD: conclusion equates a variable with itself")
+        self.atoms: tuple[Atom, ...] = tuple(atoms)
+        self.left_var = left_var
+        self.right_var = right_var
+        self.name = name or str(self)
+
+    # ------------------------------------------------------------------
+    # Constraint interface
+    # ------------------------------------------------------------------
+    def to_dc(self) -> DenialConstraint:
+        """Lower to a DC: body atoms + join equalities + negated conclusion.
+
+        Tuple variables ``a0, a1, ...`` are introduced per atom.  Each logical
+        variable occurring at several positions induces equality predicates
+        chaining those positions; the conclusion becomes a ``!=`` predicate.
+        """
+        from ..relational.schema import Schema
+
+        tuple_vars = [
+            (f"a{index}", atom.relation) for index, atom in enumerate(self.atoms)
+        ]
+        # Map every logical variable to the list of (tuple_var, position) slots.
+        slots: dict[str, list[tuple[str, int]]] = {}
+        for index, atom in enumerate(self.atoms):
+            for position, variable in enumerate(atom.variables):
+                slots.setdefault(variable, []).append((f"a{index}", position))
+
+        def term(slot: tuple[str, int]) -> Term:
+            tuple_var, position = slot
+            return Term.col(tuple_var, self._position_attr(tuple_var, position))
+
+        predicates: list[Predicate] = []
+        for variable, occurrences in sorted(slots.items()):
+            anchor = occurrences[0]
+            for other in occurrences[1:]:
+                predicates.append(
+                    Predicate(term(anchor), ComparisonOp.EQ, term(other))
+                )
+        predicates.append(
+            Predicate(
+                term(slots[self.left_var][0]),
+                ComparisonOp.NE,
+                term(slots[self.right_var][0]),
+            )
+        )
+        return DenialConstraint(tuple_vars, predicates, name=f"dc({self.name})")
+
+    def bind_schema(self, schema) -> None:
+        """Record the schema used to resolve positional attribute names."""
+        self._schema = schema
+
+    def _position_attr(self, tuple_var: str, position: int) -> str:
+        """Attribute name at *position* of the relation bound to *tuple_var*.
+
+        Requires :meth:`bind_schema`; falls back to positional names
+        ``_0, _1, ...`` which match the synthetic schemas used in tests.
+        """
+        schema = getattr(self, "_schema", None)
+        index = int(tuple_var[1:])
+        relation = self.atoms[index].relation
+        if schema is not None and relation in schema:
+            return schema.signature(relation).attributes[position]
+        return f"_{position}"
+
+    def attributes_involved(self) -> set[tuple[str, str]]:
+        involved = set()
+        for index, atom in enumerate(self.atoms):
+            for position in range(atom.arity):
+                involved.add(
+                    (atom.relation, self._position_attr(f"a{index}", position))
+                )
+        return involved
+
+    # ------------------------------------------------------------------
+    # Theorem 1 structure probes
+    # ------------------------------------------------------------------
+    def has_two_binary_atoms(self) -> bool:
+        """True for the EGD family classified by Theorem 1."""
+        return len(self.atoms) == 2 and all(atom.arity == 2 for atom in self.atoms)
+
+    def is_hard_path_shape(self) -> bool:
+        """True exactly for ``R(x1,x2), R(x2,x3) -> xi = xj``.
+
+        Conditions (up to atom order): both atoms use the *same* relation;
+        the atoms chain through one shared variable appearing in the second
+        position of one atom and the first position of the other; the three
+        variables are pairwise distinct; the conclusion equates two of them.
+        NP-hardness then follows from the MaxCut reduction of Lemma 1.
+        """
+        if not self.has_two_binary_atoms():
+            return False
+        first, second = self.atoms
+        if first.relation != second.relation:
+            return False
+        for left, right in ((first, second), (second, first)):
+            x1, x2 = left.variables
+            y1, y2 = right.variables
+            if x2 == y1 and len({x1, x2, y2}) == 3:
+                chain_vars = {x1, x2, y2}
+                if {self.left_var, self.right_var} <= chain_vars:
+                    return True
+        return False
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.atoms)
+        return f"{body} -> {self.left_var} = {self.right_var}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EqualityGeneratingDependency({str(self)!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EqualityGeneratingDependency):
+            return NotImplemented
+        return (
+            self.atoms == other.atoms
+            and {self.left_var, self.right_var}
+            == {other.left_var, other.right_var}
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.atoms, frozenset((self.left_var, self.right_var))))
+
+
+def example8_egds() -> dict[str, EqualityGeneratingDependency]:
+    """The four EGDs σ1–σ4 of Example 8 in the paper."""
+    r_xy = Atom("R", ("x", "y"))
+    r_xz = Atom("R", ("x", "z"))
+    r_yz = Atom("R", ("y", "z"))
+    s_yz = Atom("S", ("y", "z"))
+    return {
+        "sigma1": EqualityGeneratingDependency([r_xy, r_xz], "y", "z", name="σ1"),
+        "sigma2": EqualityGeneratingDependency([r_xy, r_yz], "x", "z", name="σ2"),
+        "sigma3": EqualityGeneratingDependency([r_xy, r_yz], "x", "y", name="σ3"),
+        "sigma4": EqualityGeneratingDependency([r_xy, s_yz], "x", "z", name="σ4"),
+    }

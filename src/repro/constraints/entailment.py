@@ -1,0 +1,130 @@
+"""Entailment and equivalence between constraint sets.
+
+The paper requires inconsistency measures to be invariant under logical
+equivalence of constraints (Σ ≡ Σ'), and the monotonicity property quantifies
+over entailment (Σ' ⊨ Σ).  Full first-order entailment is undecidable, so the
+library provides:
+
+* exact entailment/equivalence for FD sets (attribute closure);
+* a sound *syntactic* entailment check for DC sets (predicate-subset
+  weakening: a DC with fewer conjuncts is entailed by one with more, over the
+  same tuple variables);
+* an empirical refuter: search a given database family for a counterexample
+  to the claimed entailment.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterable, Sequence
+
+from ..relational.database import Database
+from .base import Constraint
+from .dc import DenialConstraint
+from .fd import FunctionalDependency, fd_set_entails, fd_sets_equivalent
+
+
+def entails(
+    stronger: Sequence[Constraint], weaker: Sequence[Constraint]
+) -> bool:
+    """Sound (incomplete beyond FDs) check that ``stronger ⊨ weaker``."""
+    if _all_fds(stronger) and _all_fds(weaker):
+        return fd_set_entails(list(stronger), list(weaker))
+    stronger_dcs = _lower_all(stronger)
+    return all(
+        any(_dc_entails(strong, weak) for strong in stronger_dcs)
+        for weak in _lower_all(weaker)
+    )
+
+
+def equivalent(
+    first: Sequence[Constraint], second: Sequence[Constraint]
+) -> bool:
+    """Sound equivalence check: mutual entailment."""
+    if _all_fds(first) and _all_fds(second):
+        return fd_sets_equivalent(list(first), list(second))
+    return entails(first, second) and entails(second, first)
+
+
+def find_entailment_counterexample(
+    stronger: Sequence[Constraint],
+    weaker: Sequence[Constraint],
+    candidates: Iterable[Database],
+) -> Database | None:
+    """A database satisfying *stronger* but violating *weaker*, if any.
+
+    Used by property tests to refute bogus entailments empirically.
+    """
+    from ..violations.minimal import is_consistent
+
+    for database in candidates:
+        if is_consistent(list(stronger), database) and not is_consistent(
+            list(weaker), database
+        ):
+            return database
+    return None
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _all_fds(constraints: Sequence[Constraint]) -> bool:
+    return all(isinstance(c, FunctionalDependency) for c in constraints)
+
+
+def _lower_all(constraints: Sequence[Constraint]) -> list[DenialConstraint]:
+    lowered: list[DenialConstraint] = []
+    for constraint in constraints:
+        if isinstance(constraint, FunctionalDependency):
+            lowered.extend(constraint.to_dcs())
+        else:
+            lowered.append(constraint.to_dc())
+    return lowered
+
+
+def _dc_entails(stronger: DenialConstraint, weaker: DenialConstraint) -> bool:
+    """Syntactic check: *weaker* forbids a superset pattern of *stronger*.
+
+    A DC ``¬(P)`` is entailed by ``¬(Q)`` when every witness of ``P`` is a
+    witness of ``Q``; syntactically we certify the case ``Q ⊆ P`` under some
+    renaming of tuple variables that preserves relations.
+    """
+    if len(weaker.variables) < len(stronger.variables):
+        return False
+    weaker_vars = [v for v, _ in weaker.variables]
+    stronger_vars = [v for v, _ in stronger.variables]
+    weaker_rel = dict(weaker.variables)
+    stronger_rel = dict(stronger.variables)
+    for positions in combinations(range(len(weaker_vars)), len(stronger_vars)):
+        for ordering in _permutations_of(positions):
+            renaming = {}
+            compatible = True
+            for stronger_var, weak_index in zip(stronger_vars, ordering):
+                weak_var = weaker_vars[weak_index]
+                if stronger_rel[stronger_var] != weaker_rel[weak_var]:
+                    compatible = False
+                    break
+                renaming[stronger_var] = weak_var
+            if not compatible:
+                continue
+            renamed = {_rename(p, renaming) for p in stronger.predicates}
+            if renamed <= set(weaker.predicates):
+                return True
+    return False
+
+
+def _permutations_of(positions: tuple[int, ...]):
+    from itertools import permutations
+
+    return permutations(positions)
+
+
+def _rename(predicate, renaming):
+    from .dc import Predicate, Term
+
+    def rename_term(term):
+        if term.is_constant:
+            return term
+        return Term.col(renaming.get(term.variable, term.variable), term.attribute)
+
+    return Predicate(rename_term(predicate.left), predicate.op, rename_term(predicate.right))

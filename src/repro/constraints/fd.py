@@ -1,0 +1,159 @@
+"""Functional dependencies.
+
+An FD ``R : X -> Y`` states that any two facts agreeing on every attribute of
+``X`` also agree on every attribute of ``Y``.  FDs lower to two-variable
+denial constraints.  The module also implements attribute-set closure
+(Armstrong), which powers FD entailment and hence the logical-equivalence
+requirement on inconsistency measures.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence
+
+from .base import ComparisonOp, Constraint
+from .dc import DenialConstraint, Predicate, Term
+
+
+class FunctionalDependency(Constraint):
+    """An FD ``relation : lhs -> rhs``."""
+
+    def __init__(
+        self,
+        relation: str,
+        lhs: Iterable[str],
+        rhs: Iterable[str],
+        name: str | None = None,
+    ) -> None:
+        self.relation = relation
+        self.lhs: frozenset[str] = frozenset(lhs)
+        self.rhs: frozenset[str] = frozenset(rhs)
+        if not self.rhs:
+            raise ValueError("FD right-hand side must be non-empty")
+        self.name = name or str(self)
+
+    # ------------------------------------------------------------------
+    # Constraint interface
+    # ------------------------------------------------------------------
+    def to_dc(self) -> DenialConstraint:
+        """``X -> Y`` as ``¬(t[X]=t'[X] ∧ ⋁ t[A]≠t'[A])`` — one DC per rhs attr.
+
+        A multi-attribute rhs is a conjunction of FDs; lowering yields one DC
+        per rhs attribute.  For the single-DC form use :meth:`to_dcs` and the
+        fact that a violation of the FD is a violation of at least one of
+        them; :meth:`to_dc` requires a singleton rhs.
+        """
+        dcs = self.to_dcs()
+        if len(dcs) != 1:
+            raise ValueError(
+                f"FD {self} has a multi-attribute rhs; call to_dcs() and "
+                "treat the result as a set of constraints"
+            )
+        return dcs[0]
+
+    def to_dcs(self) -> list[DenialConstraint]:
+        """One denial constraint per right-hand-side attribute."""
+        dcs = []
+        for target in sorted(self.rhs):
+            predicates = [
+                Predicate(Term.col("t", attr), ComparisonOp.EQ, Term.col("t2", attr))
+                for attr in sorted(self.lhs)
+            ]
+            predicates.append(
+                Predicate(
+                    Term.col("t", target), ComparisonOp.NE, Term.col("t2", target)
+                )
+            )
+            dcs.append(
+                DenialConstraint(
+                    [("t", self.relation), ("t2", self.relation)],
+                    predicates,
+                    name=f"{self.name}[{target}]",
+                )
+            )
+        return dcs
+
+    def attributes_involved(self) -> set[tuple[str, str]]:
+        return {(self.relation, attr) for attr in self.lhs | self.rhs}
+
+    # ------------------------------------------------------------------
+    # Semantics helpers
+    # ------------------------------------------------------------------
+    def decompose(self) -> list["FunctionalDependency"]:
+        """Split a multi-attribute rhs into singleton-rhs FDs."""
+        return [
+            FunctionalDependency(self.relation, self.lhs, {attr})
+            for attr in sorted(self.rhs)
+        ]
+
+    def is_trivial(self) -> bool:
+        """True when ``rhs ⊆ lhs`` (satisfied by every database)."""
+        return self.rhs <= self.lhs
+
+    def __str__(self) -> str:
+        lhs = " ".join(sorted(self.lhs)) or "∅"
+        rhs = " ".join(sorted(self.rhs))
+        return f"{self.relation}: {lhs} -> {rhs}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionalDependency({str(self)!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.lhs, self.rhs))
+
+
+def attribute_closure(
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+    relation: str | None = None,
+) -> FrozenSet[str]:
+    """Closure ``X+`` of an attribute set under a set of FDs (Armstrong).
+
+    When *relation* is given only FDs on that relation participate.
+    """
+    closure = set(attributes)
+    relevant = [
+        fd for fd in fds if relation is None or fd.relation == relation
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for fd in relevant:
+            if fd.lhs <= closure and not fd.rhs <= closure:
+                closure |= fd.rhs
+                changed = True
+    return frozenset(closure)
+
+
+def fd_entails(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """``fds ⊨ candidate`` via attribute closure."""
+    closure = attribute_closure(candidate.lhs, fds, relation=candidate.relation)
+    return candidate.rhs <= closure
+
+
+def fd_sets_equivalent(
+    first: Sequence[FunctionalDependency], second: Sequence[FunctionalDependency]
+) -> bool:
+    """Logical equivalence of two FD sets (Σ ≡ Σ')."""
+    return all(fd_entails(second, fd) for fd in first) and all(
+        fd_entails(first, fd) for fd in second
+    )
+
+
+def fd_set_entails(
+    stronger: Sequence[FunctionalDependency],
+    weaker: Sequence[FunctionalDependency],
+) -> bool:
+    """``stronger ⊨ weaker`` — every FD of *weaker* follows from *stronger*."""
+    return all(fd_entails(stronger, fd) for fd in weaker)

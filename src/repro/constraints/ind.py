@@ -1,0 +1,78 @@
+"""Inclusion dependencies (referential constraints).
+
+An inclusion dependency ``R[A] ⊆ S[B]`` requires every value of column
+``R.A`` to appear in column ``S.B``.  Unlike FDs/EGDs/DCs, INDs are **not**
+anti-monotonic — deleting an S-fact can *introduce* a violation — which is
+why the paper's Section 3 measures (I_MI, I_P, I_MC) do not apply to them,
+while ``I_R`` still does, under a repair system with insertions
+(Section 3: "the measure I_R in general can be used with other types of
+constraints (like referential integrity constraints)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.database import Database
+from .base import Constraint
+
+
+class NotDenialExpressible(TypeError):
+    """Raised when a constraint has no denial-constraint equivalent."""
+
+
+@dataclass(frozen=True)
+class InclusionDependency(Constraint):
+    """``child_relation[child_attribute] ⊆ parent_relation[parent_attribute]``."""
+
+    child_relation: str
+    child_attribute: str
+    parent_relation: str
+    parent_attribute: str
+
+    @property
+    def name(self) -> str:
+        return str(self)
+
+    def to_dc(self):
+        raise NotDenialExpressible(
+            "inclusion dependencies are not anti-monotonic and have no "
+            "denial-constraint form; use repro.repairs.referential for I_R"
+        )
+
+    @property
+    def is_anti_monotonic(self) -> bool:
+        return False
+
+    def attributes_involved(self) -> set[tuple[str, str]]:
+        return {
+            (self.child_relation, self.child_attribute),
+            (self.parent_relation, self.parent_attribute),
+        }
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def dangling_ids(self, database: Database) -> list[int]:
+        """Child-fact identifiers whose referenced value has no parent."""
+        parent_values = set(
+            database.column(self.parent_relation, self.parent_attribute)
+        )
+        child_signature = database.schema.signature(self.child_relation)
+        index = child_signature.index_of(self.child_attribute)
+        dangling = []
+        for identifier in database.relation_ids(self.child_relation):
+            value = database[identifier].values[index]
+            if value is not None and value not in parent_values:
+                dangling.append(identifier)
+        return dangling
+
+    def holds_in(self, database: Database) -> bool:
+        """``D ⊨ σ`` for this IND."""
+        return not self.dangling_ids(database)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.child_relation}[{self.child_attribute}] ⊆ "
+            f"{self.parent_relation}[{self.parent_attribute}]"
+        )

@@ -1,0 +1,164 @@
+"""Textual parsers for constraints.
+
+Supports the paper's notation for denial constraints::
+
+    ¬(t[Country] = t'[Country], t[Continent] != t'[Continent])
+
+as well as plain-ASCII spellings (``not(...)``, ``t2`` for ``t'``, ``t.A``
+for ``t[A]``), constants (numbers and single-quoted strings), and the FD
+notation ``R: A B -> C D``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .base import ComparisonOp
+from .dc import DenialConstraint, Predicate, Term
+from .fd import FunctionalDependency
+
+
+class ConstraintParseError(ValueError):
+    """Raised on malformed constraint strings."""
+
+
+_OPERATOR_PATTERN = re.compile(r"(<=|>=|!=|<>|==|=|<|>|≠|≤|≥)")
+_COLUMN_PATTERN = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*'?)(?:\[([^\]]+)\]|\.(\w+))$")
+_NUMBER_PATTERN = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+def parse_dc(
+    text: str,
+    relation: str,
+    name: str | None = None,
+) -> DenialConstraint:
+    """Parse a denial constraint in the paper's two-tuple notation.
+
+    All tuple variables range over *relation* (the paper's mined DCs are
+    single-relation).  Variables ``t`` and ``t'`` (alias ``t2``) are
+    recognized; a DC mentioning only ``t`` becomes unary.
+    """
+    body = _strip_negation(text)
+    predicate_texts = _split_top_level(body)
+    if not predicate_texts:
+        raise ConstraintParseError(f"empty denial constraint body in {text!r}")
+    predicates = [_parse_predicate(chunk) for chunk in predicate_texts]
+
+    variables_seen: set[str] = set()
+    for predicate in predicates:
+        variables_seen |= predicate.variables()
+    unknown = variables_seen - {"t", "t2"}
+    if unknown:
+        raise ConstraintParseError(
+            f"unsupported tuple variables {sorted(unknown)}; use t and t'"
+        )
+    binder: list[tuple[str, str]] = [("t", relation)]
+    if "t2" in variables_seen:
+        binder.append(("t2", relation))
+    return DenialConstraint(binder, predicates, name=name)
+
+
+def parse_fd(text: str) -> FunctionalDependency:
+    """Parse ``R: A B -> C D`` (attributes separated by spaces or commas)."""
+    head, _, arrow_part = text.partition(":")
+    if not arrow_part:
+        # Allow omitting the relation for single-relation schemas:  "A -> B".
+        head, arrow_part = "", text
+        relation = "R"
+    else:
+        relation = head.strip()
+    lhs_text, arrow, rhs_text = arrow_part.partition("->")
+    if not arrow:
+        raise ConstraintParseError(f"FD {text!r} is missing '->'")
+    lhs = _split_attributes(lhs_text)
+    rhs = _split_attributes(rhs_text)
+    if not rhs:
+        raise ConstraintParseError(f"FD {text!r} has an empty right-hand side")
+    return FunctionalDependency(relation, lhs, rhs)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _strip_negation(text: str) -> str:
+    cleaned = text.strip()
+    for prefix in ("forall", "∀"):
+        if cleaned.startswith(prefix):
+            # Drop a leading quantifier clause, e.g. "∀t,t′" or "forall t, t'".
+            rest = cleaned[len(prefix):].lstrip()
+            cut = 0
+            while cut < len(rest) and rest[cut] not in "¬n(":
+                cut += 1
+            cleaned = rest[cut:].strip()
+            break
+    for prefix in ("¬", "not", "NOT"):
+        if cleaned.startswith(prefix):
+            cleaned = cleaned[len(prefix):].strip()
+            break
+    if cleaned.startswith("(") and cleaned.endswith(")"):
+        cleaned = cleaned[1:-1]
+    return cleaned.strip()
+
+
+def _split_top_level(body: str) -> list[str]:
+    chunks: list[str] = []
+    depth = 0
+    current: list[str] = []
+    in_string = False
+    for char in body:
+        if char == "'" and (not current or current[-1] != "\\"):
+            # String-literal quotes toggle; tuple-variable primes are handled
+            # by the column regex before reaching here, so only quotes that
+            # start a literal (preceded by an operator or separator) toggle.
+            pass
+        if char == "," and depth == 0 and not in_string:
+            chunks.append("".join(current).strip())
+            current = []
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        chunks.append(tail)
+    return [chunk for chunk in chunks if chunk]
+
+
+def _parse_predicate(text: str) -> Predicate:
+    match = _OPERATOR_PATTERN.search(text)
+    if match is None:
+        raise ConstraintParseError(f"no comparison operator in predicate {text!r}")
+    op = ComparisonOp.parse(match.group(0))
+    left_text = text[: match.start()].strip()
+    right_text = text[match.end():].strip()
+    return Predicate(_parse_term(left_text), op, _parse_term(right_text))
+
+
+def _parse_term(text: str) -> Term:
+    text = text.strip().replace("′", "'")
+    if not text:
+        raise ConstraintParseError("empty term")
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return Term.const(text[1:-1].replace("''", "'"))
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return Term.const(text[1:-1])
+    if _NUMBER_PATTERN.match(text):
+        return Term.const(float(text) if "." in text else int(text))
+    match = _COLUMN_PATTERN.match(text)
+    if match is None:
+        raise ConstraintParseError(f"cannot parse term {text!r}")
+    variable = match.group(1)
+    attribute = match.group(2) or match.group(3)
+    if variable in ("t'", "t′"):
+        variable = "t2"
+    if variable not in ("t", "t2"):
+        raise ConstraintParseError(
+            f"unsupported tuple variable {variable!r} in term {text!r}"
+        )
+    return Term.col(variable, attribute)
+
+
+def _split_attributes(text: str) -> list[str]:
+    return [token for token in re.split(r"[,\s]+", text.strip()) if token]

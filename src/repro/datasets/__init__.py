@@ -1,0 +1,35 @@
+"""Datasets: the running example (Figure 1) and the eight Figure 3 datasets."""
+
+from .example1 import (
+    TABLE1_EXPECTED,
+    TABLE1_UPDATE_ATTRIBUTES,
+    airport_constraints,
+    airport_schema,
+    clean_database,
+    noisy_database_d1,
+    noisy_database_d2,
+)
+from .registry import (
+    DATASET_ORDER,
+    DATASETS,
+    DatasetSpec,
+    default_sample_size,
+    generate_sample,
+    get_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DATASET_ORDER",
+    "DatasetSpec",
+    "TABLE1_EXPECTED",
+    "TABLE1_UPDATE_ATTRIBUTES",
+    "airport_constraints",
+    "airport_schema",
+    "clean_database",
+    "default_sample_size",
+    "generate_sample",
+    "get_dataset",
+    "noisy_database_d1",
+    "noisy_database_d2",
+]

@@ -1,0 +1,113 @@
+"""Adult — the census dataset (paper: 32K × 15, 3 DCs).
+
+The paper's example DC is the cross-tuple dominance constraint
+``∀t,t′ ¬(t[Gain] < t′[Gain], t[Loss] < t′[Loss])`` — satisfiable only when
+capital gain and capital loss are anti-correlated, which the generator
+enforces by making Loss a non-increasing function of Gain.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.dc import DenialConstraint, Predicate, Term
+from ..constraints.base import ComparisonOp
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation
+
+RELATION = "Adult"
+
+ATTRIBUTES = (
+    "Age",
+    "Workclass",
+    "Fnlwgt",
+    "Education",
+    "EducationNum",
+    "MaritalStatus",
+    "Occupation",
+    "Relationship",
+    "Race",
+    "Sex",
+    "Gain",
+    "Loss",
+    "Hours",
+    "Country",
+    "Income",
+)
+
+PAPER_TUPLES = 32_000
+
+_EDUCATION_LEVELS = {
+    "Preschool": 1,
+    "HS-grad": 9,
+    "Some-college": 10,
+    "Assoc-voc": 11,
+    "Bachelors": 13,
+    "Masters": 14,
+    "Doctorate": 16,
+}
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Three DCs: dominance, an FD, and a single-tuple semantic check."""
+    dominance = parse_dc(
+        "not(t.Gain < t'.Gain, t.Loss < t'.Loss)", RELATION, name="adult_dominance"
+    )
+    education_fd = parse_dc(
+        "not(t.Education = t'.Education, t.EducationNum != t'.EducationNum)",
+        RELATION,
+        name="adult_education",
+    )
+    husband_sex = DenialConstraint(
+        [("t", RELATION)],
+        [
+            Predicate(
+                Term.col("t", "Relationship"), ComparisonOp.EQ, Term.const("Husband")
+            ),
+            Predicate(Term.col("t", "Sex"), ComparisonOp.EQ, Term.const("Female")),
+        ],
+        name="adult_husband_sex",
+    )
+    return [dominance, education_fd, husband_sex]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """Anti-correlated Gain/Loss, education lookup, gendered relationships."""
+    rng = random.Random(seed)
+    educations = sorted(_EDUCATION_LEVELS)
+    gain_grid = [0, 500, 1500, 3000, 5000, 7500, 10000, 15000, 25000]
+
+    rows = []
+    for _ in range(num_tuples):
+        gain = rng.choice(gain_grid)
+        loss = max(0, 4000 - gain // 4)  # non-increasing in gain
+        education = rng.choice(educations)
+        sex = rng.choice(["Male", "Female"])
+        relationship = rng.choice(
+            ["Husband", "Wife", "Own-child", "Unmarried", "Not-in-family"]
+        )
+        if relationship == "Husband":
+            sex = "Male"
+        elif relationship == "Wife":
+            sex = "Female"
+        rows.append(
+            (
+                rng.randrange(17, 90),
+                rng.choice(["Private", "Self-emp", "Federal-gov", "State-gov"]),
+                rng.randrange(20_000, 400_000),
+                education,
+                _EDUCATION_LEVELS[education],
+                rng.choice(["Married", "Never-married", "Divorced", "Widowed"]),
+                rng.choice(["Sales", "Tech-support", "Craft-repair", "Exec"]),
+                relationship,
+                rng.choice(["White", "Black", "Asian-Pac", "Other"]),
+                sex,
+                gain,
+                loss,
+                rng.randrange(10, 80),
+                rng.choice(["United-States", "Mexico", "Canada", "India"]),
+                rng.choice(["<=50K", ">50K"]),
+            )
+        )
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

@@ -1,0 +1,97 @@
+"""Airport — the ourairports.com-style dataset (paper: 55K × 9, 6 DCs).
+
+The paper's example DC is ``Country → Continent``; the geographic hierarchy
+(continent ⊃ country ⊃ municipality) is generated explicitly, which is what
+makes ``I_P`` jump to #tuples after a single continent typo (§6.2.1) when
+most tuples share a country.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.dc import DenialConstraint
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation, code_pool, name_pool
+
+RELATION = "Airport"
+
+ATTRIBUTES = (
+    "Id",
+    "Ident",
+    "Type",
+    "Name",
+    "Continent",
+    "Country",
+    "Municipality",
+    "GpsCode",
+    "Elevation",
+)
+
+PAPER_TUPLES = 55_000
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Six DCs over the geographic hierarchy plus elevation ranges."""
+    texts = [
+        (
+            "not(t.Country = t'.Country, t.Continent != t'.Continent)",
+            "airport_country_continent",
+        ),
+        (
+            "not(t.Municipality = t'.Municipality, t.Country != t'.Country)",
+            "airport_muni_country",
+        ),
+        (
+            "not(t.Municipality = t'.Municipality, t.Continent != t'.Continent)",
+            "airport_muni_continent",
+        ),
+        ("not(t.Ident = t'.Ident, t.Name != t'.Name)", "airport_ident_name"),
+        ("not(t.Elevation < -1500)", "airport_elev_low"),
+        ("not(t.Elevation > 9000)", "airport_elev_high"),
+    ]
+    return [parse_dc(text, RELATION, name=name) for text, name in texts]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """A skewed geographic hierarchy: few countries dominate, as in the
+    original data (most rows share 'US'/'NAm')."""
+    rng = random.Random(seed)
+    continents = ["NAm", "SAm", "EU", "AS", "AF", "OC"]
+    countries: dict[str, str] = {}
+    municipalities: dict[str, str] = {}
+    for continent in continents:
+        for country in name_pool(rng, 4, syllables=2):
+            key = f"{country}_{continent}"
+            countries[key] = continent
+            for municipality in name_pool(rng, 6, syllables=3):
+                municipalities[f"{municipality}_{key}"] = key
+    country_list = sorted(countries)
+    municipality_list = sorted(municipalities)
+    # Zipf-ish skew over municipalities: early entries are far more common.
+    weights = [1.0 / (rank + 1) for rank in range(len(municipality_list))]
+    idents = code_pool(rng, max(16, num_tuples), width=4)
+
+    rows = []
+    for index in range(num_tuples):
+        municipality = rng.choices(municipality_list, weights=weights, k=1)[0]
+        country = municipalities[municipality]
+        continent = countries[country]
+        ident = idents[index % len(idents)]
+        rows.append(
+            (
+                index + 1,
+                ident,
+                rng.choice(
+                    ["small_airport", "heliport", "medium_airport", "seaplane_base"]
+                ),
+                f"{ident} Field",
+                continent,
+                country,
+                municipality,
+                ident,
+                rng.randrange(-50, 4200),
+            )
+        )
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

@@ -1,0 +1,109 @@
+"""The running example of the paper (Figure 1 / Example 1).
+
+An Airport relation with FDs ``Municipality → Continent Country`` and
+``Country → Continent``; a clean database D0 and two noisy versions D1, D2.
+Table 1 reports every measure on D1 and D2 — reproduced in
+``benchmarks/bench_table1_running_example.py`` and asserted in tests.
+"""
+
+from __future__ import annotations
+
+from ..constraints.fd import FunctionalDependency
+from ..relational.database import Database
+from ..relational.schema import Schema
+
+AIRPORT_RELATION = "Airport"
+
+AIRPORT_ATTRIBUTES = (
+    "Id",
+    "Type",
+    "Name",
+    "Continent",
+    "Country",
+    "Municipality",
+)
+
+
+def airport_schema() -> Schema:
+    """Schema of the running example."""
+    return Schema.from_dict({AIRPORT_RELATION: list(AIRPORT_ATTRIBUTES)})
+
+
+def airport_constraints() -> list[FunctionalDependency]:
+    """The two FDs of Example 1."""
+    return [
+        FunctionalDependency(
+            AIRPORT_RELATION, {"Municipality"}, {"Continent", "Country"}
+        ),
+        FunctionalDependency(AIRPORT_RELATION, {"Country"}, {"Continent"}),
+    ]
+
+
+_D0_ROWS = [
+    ("00AA", "Small airport", "Aero B Ranch", "NAm", "US", "Leoti"),
+    ("7FA0", "heliport", "Florida Keys Memorial Hospital Heliport", "NAm", "US", "Key West"),
+    ("7FA1", "Small airport", "Sugar Loaf Shores Airport", "NAm", "US", "Key West"),
+    ("KEYW", "Medium airport", "Key West International Airport", "NAm", "US", "Key West"),
+    ("KNQX", "Medium airport", "Naval Air Station Key West/Boca Chica Field", "NAm", "US", "Key West"),
+]
+
+# D1: f2.{Continent,Country}, f4.Country, f5.Continent changed (4 edits).
+_D1_ROWS = [
+    ("00AA", "Small airport", "Aero B Ranch", "NAm", "US", "Leoti"),
+    ("7FA0", "heliport", "Florida Keys Memorial Hospital Heliport", "Am", "USA", "Key West"),
+    ("7FA1", "Small airport", "Sugar Loaf Shores Airport", "NAm", "US", "Key West"),
+    ("KEYW", "Medium airport", "Key West International Airport", "NAm", "USA", "Key West"),
+    ("KNQX", "Medium airport", "Naval Air Station Key West/Boca Chica Field", "Am", "US", "Key West"),
+]
+
+# D2: f2.{Continent,Country}, f4.Country changed (3 edits).
+_D2_ROWS = [
+    ("00AA", "Small airport", "Aero B Ranch", "NAm", "US", "Leoti"),
+    ("7FA0", "heliport", "Florida Keys Memorial Hospital Heliport", "Am", "USA", "Key West"),
+    ("7FA1", "Small airport", "Sugar Loaf Shores Airport", "NAm", "US", "Key West"),
+    ("KEYW", "Medium airport", "Key West International Airport", "NAm", "USA", "Key West"),
+    ("KNQX", "Medium airport", "Naval Air Station Key West/Boca Chica Field", "NAm", "US", "Key West"),
+]
+
+
+def _build(rows) -> Database:
+    return Database.from_rows(airport_schema(), AIRPORT_RELATION, rows)
+
+
+def clean_database() -> Database:
+    """D0 — satisfies both FDs."""
+    return _build(_D0_ROWS)
+
+
+def noisy_database_d1() -> Database:
+    """D1 — four modified values; I_R(deletions) = 3 (Table 1)."""
+    return _build(_D1_ROWS)
+
+
+def noisy_database_d2() -> Database:
+    """D2 — three modified values; I_R(deletions) = 2 (Table 1)."""
+    return _build(_D2_ROWS)
+
+
+#: Attribute restriction reproducing the paper's "I_R (updates)" row.
+#: Table 1 counts updates on the error-bearing attributes only; the
+#: unrestricted optimum is strictly smaller (see EXPERIMENTS.md).
+TABLE1_UPDATE_ATTRIBUTES = {"Continent", "Country"}
+
+#: Expected Table 1 values, keyed by (measure, database).
+TABLE1_EXPECTED = {
+    ("I_d", "D1"): 1.0,
+    ("I_d", "D2"): 1.0,
+    ("I_R", "D1"): 3.0,
+    ("I_R", "D2"): 2.0,
+    ("I_R_upd", "D1"): 4.0,
+    ("I_R_upd", "D2"): 3.0,
+    ("I_MI", "D1"): 7.0,
+    ("I_MI", "D2"): 5.0,
+    ("I_P", "D1"): 5.0,
+    ("I_P", "D2"): 4.0,
+    ("I_MC", "D1"): 3.0,
+    ("I_MC", "D2"): 2.0,
+    ("I_lin_R", "D1"): 2.5,
+    ("I_lin_R", "D2"): 2.0,
+}

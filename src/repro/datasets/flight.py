@@ -1,0 +1,137 @@
+"""Flight — airline on-time records (paper: 500K × 20, 13 DCs).
+
+The paper's example DC is ``(Origin, Dest) → Distance``.  Thirteen DCs —
+the largest mined set in Figure 3 — combining route/flight/aircraft lookup
+FDs and non-negativity checks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.dc import DenialConstraint
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation, code_pool, name_pool
+
+RELATION = "Flight"
+
+ATTRIBUTES = (
+    "Airline",
+    "FlightNum",
+    "Origin",
+    "Dest",
+    "SchedDep",
+    "ActDep",
+    "SchedArr",
+    "ActArr",
+    "DepDelay",
+    "ArrDelay",
+    "Distance",
+    "AirTime",
+    "TaxiIn",
+    "TaxiOut",
+    "Cancelled",
+    "Diverted",
+    "TailNum",
+    "Carrier",
+    "OriginCity",
+    "DestCity",
+)
+
+PAPER_TUPLES = 500_000
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Thirteen DCs (seven FD-shaped, six range checks)."""
+    texts = [
+        (
+            "not(t.Origin = t'.Origin, t.Dest = t'.Dest, t.Distance != t'.Distance)",
+            "flight_route_distance",
+        ),
+        (
+            "not(t.Airline = t'.Airline, t.FlightNum = t'.FlightNum, "
+            "t.Origin != t'.Origin)",
+            "flight_key_origin",
+        ),
+        (
+            "not(t.Airline = t'.Airline, t.FlightNum = t'.FlightNum, "
+            "t.Dest != t'.Dest)",
+            "flight_key_dest",
+        ),
+        ("not(t.Origin = t'.Origin, t.OriginCity != t'.OriginCity)", "flight_origin_city"),
+        ("not(t.Dest = t'.Dest, t.DestCity != t'.DestCity)", "flight_dest_city"),
+        ("not(t.TailNum = t'.TailNum, t.Carrier != t'.Carrier)", "flight_tail_carrier"),
+        ("not(t.Airline = t'.Airline, t.Carrier != t'.Carrier)", "flight_airline_carrier"),
+        ("not(t.Distance < 0)", "flight_distance_nonneg"),
+        ("not(t.AirTime < 0)", "flight_airtime_nonneg"),
+        ("not(t.TaxiIn < 0)", "flight_taxi_in"),
+        ("not(t.TaxiOut < 0)", "flight_taxi_out"),
+        ("not(t.Cancelled > 1)", "flight_cancelled_hi"),
+        ("not(t.Cancelled < 0)", "flight_cancelled_lo"),
+    ]
+    return [parse_dc(text, RELATION, name=name) for text, name in texts]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """Routes, flight numbers, and tail numbers drawn from lookup tables."""
+    rng = random.Random(seed)
+    airports = code_pool(rng, 18, width=3)
+    city_of = {
+        airport: name for airport, name in zip(airports, name_pool(rng, 18))
+    }
+    routes = {}
+    for origin in airports:
+        for dest in rng.sample(airports, 6):
+            if origin != dest:
+                routes[(origin, dest)] = rng.randrange(150, 3_000)
+    route_list = sorted(routes)
+    airlines = ["AA", "DL", "UA", "WN", "B6", "AS"]
+    carrier_of = {airline: airline + "-Carrier" for airline in airlines}
+    flights = {}
+    for number in range(100, 100 + max(20, num_tuples // 30)):
+        airline = rng.choice(airlines)
+        flights[(airline, number)] = rng.choice(route_list)
+    flight_list = sorted(flights)
+    # Every airline owns its own pool of tail numbers, so TailNum → Carrier
+    # and Airline → Carrier can both hold simultaneously.
+    codes = code_pool(rng, 8 * len(airlines), width=5)
+    tails_of: dict[str, list[str]] = {airline: [] for airline in airlines}
+    for index, code in enumerate(codes):
+        tails_of[airlines[index % len(airlines)]].append("N" + code)
+
+    rows = []
+    for _ in range(num_tuples):
+        airline, number = rng.choice(flight_list)
+        origin, dest = flights[(airline, number)]
+        tail = rng.choice(tails_of[airline])
+        sched_dep = rng.randrange(0, 1380)
+        dep_delay = rng.randrange(-10, 120)
+        air_time = max(25, routes[(origin, dest)] // 8)
+        sched_arr = sched_dep + air_time + 30
+        arr_delay = dep_delay + rng.randrange(-15, 30)
+        rows.append(
+            (
+                airline,
+                number,
+                origin,
+                dest,
+                sched_dep,
+                sched_dep + dep_delay,
+                sched_arr,
+                sched_arr + arr_delay,
+                dep_delay,
+                arr_delay,
+                routes[(origin, dest)],
+                air_time,
+                rng.randrange(2, 30),
+                rng.randrange(5, 45),
+                rng.choice([0, 0, 0, 0, 1]),
+                rng.choice([0, 0, 0, 0, 0, 1]),
+                tail,
+                carrier_of[airline],
+                city_of[origin],
+                city_of[dest],
+            )
+        )
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

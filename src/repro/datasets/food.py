@@ -1,0 +1,108 @@
+"""Food — restaurant inspections (paper: 200K × 17, 6 DCs).
+
+The paper's example DC is ``Location → City``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.dc import DenialConstraint
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation, digits, name_pool
+
+RELATION = "Food"
+
+ATTRIBUTES = (
+    "InspectionID",
+    "DBAName",
+    "AKAName",
+    "License",
+    "FacilityType",
+    "Risk",
+    "Address",
+    "City",
+    "State",
+    "Zip",
+    "InspectionDate",
+    "InspectionType",
+    "Results",
+    "Violations",
+    "Latitude",
+    "Longitude",
+    "Location",
+)
+
+PAPER_TUPLES = 200_000
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Six DCs: four FD-shaped, two range checks on Risk."""
+    texts = [
+        ("not(t.Location = t'.Location, t.City != t'.City)", "food_location_city"),
+        ("not(t.License = t'.License, t.DBAName != t'.DBAName)", "food_license_dba"),
+        ("not(t.Address = t'.Address, t.Zip != t'.Zip)", "food_address_zip"),
+        ("not(t.Zip = t'.Zip, t.City != t'.City)", "food_zip_city"),
+        ("not(t.Risk < 1)", "food_risk_low"),
+        ("not(t.Risk > 3)", "food_risk_high"),
+    ]
+    return [parse_dc(text, RELATION, name=name) for text, name in texts]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """Rows from venue lookup tables; Location determines the full address."""
+    rng = random.Random(seed)
+    cities = name_pool(rng, 12, syllables=3)
+    zips_by_city = {
+        city: [digits(rng, 5) for _ in range(4)] for city in cities
+    }
+    venues = []
+    for index in range(max(10, num_tuples // 25)):
+        city = rng.choice(cities)
+        zip_code = rng.choice(zips_by_city[city])
+        address = f"{rng.randrange(1, 9999)} {rng.choice(cities)} Ave"
+        latitude = round(rng.uniform(41.6, 42.1), 6)
+        longitude = round(rng.uniform(-87.9, -87.5), 6)
+        venues.append(
+            {
+                "dba": f"{rng.choice(cities)} Eatery {index}",
+                "aka": f"Cafe {index}",
+                "license": 200_000 + index,
+                "facility": rng.choice(["Restaurant", "Grocery", "Bakery", "School"]),
+                "address": address,
+                "city": city,
+                "zip": zip_code,
+                "location": f"({latitude}, {longitude})",
+                "latitude": latitude,
+                "longitude": longitude,
+            }
+        )
+
+    rows = []
+    for index in range(num_tuples):
+        venue = rng.choice(venues)
+        day = rng.randrange(1, 29)
+        month = rng.randrange(1, 13)
+        rows.append(
+            (
+                1_000_000 + index,
+                venue["dba"],
+                venue["aka"],
+                venue["license"],
+                venue["facility"],
+                rng.randrange(1, 4),
+                venue["address"],
+                venue["city"],
+                "IL",
+                venue["zip"],
+                f"2019-{month:02d}-{day:02d}",
+                rng.choice(["Canvass", "Complaint", "License", "Re-inspection"]),
+                rng.choice(["Pass", "Fail", "Pass w/ Conditions"]),
+                rng.randrange(0, 12),
+                venue["latitude"],
+                venue["longitude"],
+                venue["location"],
+            )
+        )
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

@@ -1,0 +1,132 @@
+"""Hospital — provider quality measures (paper: 115K × 15, 7 DCs).
+
+Functional relationships are realized through seeded lookup tables, so the
+generated data satisfies all seven DCs; the paper's example is the
+``(State, Measure) → StateAvg`` constraint.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.dc import DenialConstraint
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation, digits, name_pool
+
+RELATION = "Hospital"
+
+ATTRIBUTES = (
+    "ProviderID",
+    "HospitalName",
+    "Address",
+    "City",
+    "State",
+    "Zip",
+    "County",
+    "Phone",
+    "HospitalType",
+    "Owner",
+    "EmergencyService",
+    "Condition",
+    "Measure",
+    "Score",
+    "StateAvg",
+)
+
+PAPER_TUPLES = 115_000
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Seven DCs: five FD-shaped, one key-quality pair, one range check."""
+    texts = [
+        (
+            "not(t.State = t'.State, t.Measure = t'.Measure, "
+            "t.StateAvg != t'.StateAvg)",
+            "hosp_state_measure_avg",
+        ),
+        ("not(t.Zip = t'.Zip, t.State != t'.State)", "hosp_zip_state"),
+        (
+            "not(t.ProviderID = t'.ProviderID, t.HospitalName != t'.HospitalName)",
+            "hosp_provider_name",
+        ),
+        (
+            "not(t.ProviderID = t'.ProviderID, t.Phone != t'.Phone)",
+            "hosp_provider_phone",
+        ),
+        ("not(t.City = t'.City, t.County != t'.County)", "hosp_city_county"),
+        (
+            "not(t.Measure = t'.Measure, t.Condition != t'.Condition)",
+            "hosp_measure_condition",
+        ),
+        ("not(t.Score > 100)", "hosp_score_range"),
+    ]
+    return [parse_dc(text, RELATION, name=name) for text, name in texts]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """Rows drawn from provider/measure/state lookup tables."""
+    rng = random.Random(seed)
+    states = name_pool(rng, 20, syllables=2)
+    conditions = name_pool(rng, 8, syllables=2)
+    measures = {
+        f"MEAS-{index:03d}": rng.choice(conditions) for index in range(24)
+    }
+    state_avg = {
+        (state, measure): round(rng.uniform(20.0, 95.0), 1)
+        for state in states
+        for measure in measures
+    }
+    # Cities are globally unique (so City → County is guaranteed).
+    cities = name_pool(rng, 60, syllables=3)
+    county_of = {city: city + " County" for city in cities}
+    zips = {}
+    for _ in range(120):
+        zips[digits(rng, 5)] = rng.choice(states)
+    zip_list = sorted(zips)
+
+    providers = {}
+    for index in range(max(10, num_tuples // 40)):
+        provider_id = 10_000 + index
+        zip_code = rng.choice(zip_list)
+        providers[provider_id] = {
+            "name": f"{rng.choice(cities)} General Hospital {index}",
+            "address": f"{rng.randrange(1, 999)} {rng.choice(cities)} St",
+            "city": rng.choice(cities),
+            "zip": zip_code,
+            "state": zips[zip_code],
+            "phone": digits(rng, 10),
+            "type": rng.choice(["Acute Care", "Critical Access", "Childrens"]),
+            "owner": rng.choice(["Government", "Proprietary", "Voluntary"]),
+            "emergency": rng.choice(["Yes", "No"]),
+        }
+    provider_ids = sorted(providers)
+    measure_ids = sorted(measures)
+
+    rows = []
+    for _ in range(num_tuples):
+        provider_id = rng.choice(provider_ids)
+        provider = providers[provider_id]
+        measure = rng.choice(measure_ids)
+        avg = state_avg[(provider["state"], measure)]
+        score = min(100, max(0, round(avg + rng.gauss(0.0, 7.0))))
+        rows.append(
+            (
+                provider_id,
+                provider["name"],
+                provider["address"],
+                provider["city"],
+                provider["state"],
+                provider["zip"],
+                county_of[provider["city"]],
+                provider["phone"],
+                provider["type"],
+                provider["owner"],
+                provider["emergency"],
+                measures[measure],
+                measure,
+                score,
+                avg,
+            )
+        )
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

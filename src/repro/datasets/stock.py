@@ -1,0 +1,52 @@
+"""Stock — daily OHLCV quotes with order constraints (paper: 123K × 7, 6 DCs).
+
+The paper's example DC is ``∀t ¬(t[High] < t[Low])``; the mined set for this
+dataset consists of single-tuple order constraints, which is why the Stock
+charts in Figure 4 move only when a noise step lands on a price column.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.dc import DenialConstraint
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation, code_pool
+
+RELATION = "Stock"
+
+ATTRIBUTES = ("Date", "Ticker", "Open", "High", "Low", "Close", "Volume")
+
+PAPER_TUPLES = 123_000
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Six single-tuple order DCs."""
+    texts = [
+        ("not(t.High < t.Low)", "stock_high_low"),
+        ("not(t.Open > t.High)", "stock_open_high"),
+        ("not(t.Open < t.Low)", "stock_open_low"),
+        ("not(t.Close > t.High)", "stock_close_high"),
+        ("not(t.Close < t.Low)", "stock_close_low"),
+        ("not(t.Volume < 0)", "stock_volume"),
+    ]
+    return [parse_dc(text, RELATION, name=name) for text, name in texts]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """Consistent OHLCV rows: ``Low ≤ Open, Close ≤ High`` by construction."""
+    rng = random.Random(seed)
+    tickers = code_pool(rng, max(8, num_tuples // 250), width=3)
+    rows = []
+    for index in range(num_tuples):
+        ticker = rng.choice(tickers)
+        day = index // len(tickers)
+        date = f"2020-{1 + (day // 28) % 12:02d}-{1 + day % 28:02d}"
+        low = round(rng.uniform(5.0, 480.0), 2)
+        high = round(low + rng.uniform(0.0, 25.0), 2)
+        open_ = round(rng.uniform(low, high), 2)
+        close = round(rng.uniform(low, high), 2)
+        volume = rng.randrange(1_000, 5_000_000)
+        rows.append((date, ticker, open_, high, low, close, volume))
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

@@ -1,0 +1,131 @@
+"""Tax — the synthetic tax dataset of Chu et al. (paper: 1M × 15, 9 DCs).
+
+The paper's example DC is the per-state rate monotonicity
+``∀t,t′ ¬(t[State] = t′[State], t[Salary] > t′[Salary], t[Rate] < t′[Rate])``,
+which the generator satisfies by deriving Rate from a per-state monotone
+bracket schedule.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.base import ComparisonOp
+from ..constraints.dc import DenialConstraint, Predicate, Term
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation, digits, name_pool
+
+RELATION = "Tax"
+
+ATTRIBUTES = (
+    "FName",
+    "LName",
+    "Gender",
+    "AreaCode",
+    "Phone",
+    "City",
+    "State",
+    "Zip",
+    "MaritalStatus",
+    "HasChild",
+    "Salary",
+    "Rate",
+    "SingleExemp",
+    "MarriedExemp",
+    "ChildExemp",
+)
+
+PAPER_TUPLES = 1_000_000
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Nine DCs: rate monotonicity, geography FDs, and semantic checks."""
+    monotone = parse_dc(
+        "not(t.State = t'.State, t.Salary > t'.Salary, t.Rate < t'.Rate)",
+        RELATION,
+        name="tax_rate_monotone",
+    )
+    geography = [
+        parse_dc("not(t.Zip = t'.Zip, t.State != t'.State)", RELATION, name="tax_zip_state"),
+        parse_dc("not(t.Zip = t'.Zip, t.City != t'.City)", RELATION, name="tax_zip_city"),
+        parse_dc(
+            "not(t.AreaCode = t'.AreaCode, t.State != t'.State)",
+            RELATION,
+            name="tax_area_state",
+        ),
+    ]
+    single_exemp = DenialConstraint(
+        [("t", RELATION)],
+        [
+            Predicate(Term.col("t", "MaritalStatus"), ComparisonOp.EQ, Term.const("S")),
+            Predicate(Term.col("t", "MarriedExemp"), ComparisonOp.GT, Term.const(0)),
+        ],
+        name="tax_single_married_exemp",
+    )
+    child_exemp = DenialConstraint(
+        [("t", RELATION)],
+        [
+            Predicate(Term.col("t", "HasChild"), ComparisonOp.EQ, Term.const("N")),
+            Predicate(Term.col("t", "ChildExemp"), ComparisonOp.GT, Term.const(0)),
+        ],
+        name="tax_child_exemp",
+    )
+    ranges = [
+        parse_dc("not(t.Salary < 0)", RELATION, name="tax_salary_nonneg"),
+        parse_dc("not(t.Rate < 0)", RELATION, name="tax_rate_nonneg"),
+        parse_dc("not(t.Rate > 60)", RELATION, name="tax_rate_cap"),
+    ]
+    return [monotone, *geography, single_exemp, child_exemp, *ranges]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """Per-state monotone rate schedule; exemptions gated on status flags."""
+    rng = random.Random(seed)
+    states = name_pool(rng, 15, syllables=2)
+    base_rate = {state: rng.randrange(0, 8) for state in states}
+    cities = name_pool(rng, 45, syllables=3)
+    zips: dict[str, tuple[str, str]] = {}
+    for city in cities:
+        state = rng.choice(states)
+        for _ in range(2):
+            zips[digits(rng, 5)] = (city, state)
+    zip_list = sorted(zips)
+    area_codes = {digits(rng, 3): rng.choice(states) for _ in range(40)}
+    # Guarantee every state has at least one area code.
+    for state in states:
+        area_codes[digits(rng, 3)] = state
+    codes_by_state: dict[str, list[str]] = {}
+    for code, state in area_codes.items():
+        codes_by_state.setdefault(state, []).append(code)
+    first_names = name_pool(rng, 30, syllables=2)
+    last_names = name_pool(rng, 30, syllables=3)
+
+    rows = []
+    for _ in range(num_tuples):
+        zip_code = rng.choice(zip_list)
+        city, state = zips[zip_code]
+        salary = rng.randrange(10_000, 200_000)
+        rate = min(60, base_rate[state] + (salary // 20_000) * 2)
+        marital = rng.choice(["S", "M"])
+        has_child = rng.choice(["Y", "N"])
+        rows.append(
+            (
+                rng.choice(first_names),
+                rng.choice(last_names),
+                rng.choice(["F", "M"]),
+                rng.choice(codes_by_state[state]),
+                digits(rng, 7),
+                city,
+                state,
+                zip_code,
+                marital,
+                has_child,
+                salary,
+                rate,
+                rng.randrange(0, 4000) if marital == "S" else 0,
+                rng.randrange(1, 8000) if marital == "M" else 0,
+                rng.randrange(1, 3000) if has_child == "Y" else 0,
+            )
+        )
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

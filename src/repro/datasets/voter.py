@@ -1,0 +1,123 @@
+"""Voter — registration records (paper: 950K × 22, 5 DCs).
+
+The paper's example DC relates BirthYear and Age across tuples; we use the
+orientation consistent with ``Age = REFERENCE_YEAR − BirthYear`` (the printed
+variant in the paper would be violated by any naturally-aged dataset — see
+EXPERIMENTS.md), i.e. ``∀t,t′ ¬(t[BirthYear] < t′[BirthYear],
+t[Age] < t′[Age])``: a person born earlier can never be younger.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints.dc import DenialConstraint
+from ..constraints.parser import parse_dc
+from ..relational.database import Database
+from ._util import build_single_relation, digits, name_pool
+
+RELATION = "Voter"
+
+ATTRIBUTES = (
+    "VoterID",
+    "FName",
+    "LName",
+    "MName",
+    "Suffix",
+    "Status",
+    "Reason",
+    "Address",
+    "HouseNum",
+    "Street",
+    "City",
+    "State",
+    "Zip",
+    "County",
+    "Precinct",
+    "BirthYear",
+    "Age",
+    "Gender",
+    "Party",
+    "RegDate",
+    "Phone",
+    "AreaCode",
+)
+
+PAPER_TUPLES = 950_000
+
+REFERENCE_YEAR = 2020
+
+
+def make_constraints() -> list[DenialConstraint]:
+    """Five DCs: the Age/BirthYear order constraint plus geography FDs."""
+    texts = [
+        (
+            "not(t.BirthYear < t'.BirthYear, t.Age < t'.Age)",
+            "voter_birthyear_age",
+        ),
+        ("not(t.Zip = t'.Zip, t.City != t'.City)", "voter_zip_city"),
+        ("not(t.Zip = t'.Zip, t.State != t'.State)", "voter_zip_state"),
+        (
+            "not(t.Precinct = t'.Precinct, t.County != t'.County)",
+            "voter_precinct_county",
+        ),
+        ("not(t.Age < 0)", "voter_age_nonneg"),
+    ]
+    return [parse_dc(text, RELATION, name=name) for text, name in texts]
+
+
+def generate(num_tuples: int, seed: int = 0) -> Database:
+    """Rows with Age derived from BirthYear and geography lookups."""
+    rng = random.Random(seed)
+    states = ["NC", "SC", "VA", "GA"]
+    cities = name_pool(rng, 16, syllables=3)
+    city_state = {city: rng.choice(states) for city in cities}
+    zips = {}
+    for city in cities:
+        for _ in range(3):
+            zips[digits(rng, 5)] = city
+    zip_list = sorted(zips)
+    counties = name_pool(rng, 10, syllables=2)
+    precinct_county = {
+        f"P-{index:03d}": rng.choice(counties) for index in range(40)
+    }
+    precinct_list = sorted(precinct_county)
+    first_names = name_pool(rng, 40, syllables=2)
+    last_names = name_pool(rng, 40, syllables=3)
+    streets = name_pool(rng, 20, syllables=2)
+
+    rows = []
+    for index in range(num_tuples):
+        zip_code = rng.choice(zip_list)
+        city = zips[zip_code]
+        birth_year = rng.randrange(1930, 2002)
+        precinct = rng.choice(precinct_list)
+        house = rng.randrange(1, 9999)
+        street = rng.choice(streets) + " St"
+        rows.append(
+            (
+                7_000_000 + index,
+                rng.choice(first_names),
+                rng.choice(last_names),
+                rng.choice(first_names)[:1],
+                rng.choice(["", "", "", "Jr", "Sr", "III"]),
+                rng.choice(["Active", "Inactive"]),
+                rng.choice(["Verified", "Confirmation pending"]),
+                f"{house} {street}",
+                house,
+                street,
+                city,
+                city_state[city],
+                zip_code,
+                precinct_county[precinct],
+                precinct,
+                birth_year,
+                REFERENCE_YEAR - birth_year,
+                rng.choice(["F", "M", "U"]),
+                rng.choice(["DEM", "REP", "UNA", "LIB"]),
+                f"{rng.randrange(1990, 2020)}-{rng.randrange(1, 13):02d}-01",
+                digits(rng, 7),
+                rng.choice(["919", "704", "336", "828"]),
+            )
+        )
+    return build_single_relation(RELATION, ATTRIBUTES, rows)

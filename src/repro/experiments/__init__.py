@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from .behavior import BehaviorResult, run_behavior_experiment, violation_ratio
+from .overlap import DatasetSummary, summarize_all, summarize_dataset
+from .report import format_series, format_table, sparkline
+from .scalability import ScalabilityResult, run_scalability_sweep
+from .timing import (
+    ErrorRateTiming,
+    TimingRow,
+    time_measures,
+    time_under_increasing_noise,
+)
+
+__all__ = [
+    "BehaviorResult",
+    "DatasetSummary",
+    "ErrorRateTiming",
+    "ScalabilityResult",
+    "TimingRow",
+    "format_series",
+    "format_table",
+    "run_behavior_experiment",
+    "run_scalability_sweep",
+    "sparkline",
+    "summarize_all",
+    "summarize_dataset",
+    "time_measures",
+    "time_under_increasing_noise",
+    "violation_ratio",
+]

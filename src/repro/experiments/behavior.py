@@ -1,0 +1,83 @@
+"""Measure-behaviour experiments (Figures 4, 5, 8, 9, 10).
+
+Runs a noise model for a number of iterations over an initially consistent
+sample, computing every requested measure at a fixed cadence; reports raw
+and normalized series plus the final violation ratio (the number in
+parentheses above each chart in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..measures.base import InconsistencyMeasure, normalize_series
+from ..relational.database import Database
+from ..violations.minimal import build_violation_index
+
+
+@dataclass
+class BehaviorResult:
+    """Series of measure values along a noise run."""
+
+    dataset: str
+    noise: str
+    iterations: list[int] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    violation_ratio: float = 0.0
+
+    def normalized(self) -> dict[str, list[float]]:
+        """Each measure scaled to [0, 1] by its own maximum (paper figures)."""
+        return {name: normalize_series(values) for name, values in self.series.items()}
+
+    def is_monotone_nondecreasing(self, name: str, slack: float = 0.0) -> bool:
+        """Whether a series only moves up (used by behaviour assertions)."""
+        values = self.series[name]
+        return all(b >= a - slack for a, b in zip(values, values[1:]))
+
+
+def run_behavior_experiment(
+    database: Database,
+    constraints: Sequence[Constraint],
+    noise,
+    measures: Sequence[InconsistencyMeasure],
+    iterations: int,
+    *,
+    measure_every: int = 1,
+    dataset_name: str = "",
+    noise_name: str = "",
+) -> BehaviorResult:
+    """Mutate *database* in place with *noise*, measuring every *k* steps."""
+    result = BehaviorResult(dataset=dataset_name, noise=noise_name)
+    for measure in measures:
+        result.series[measure.name] = []
+
+    def record(iteration: int) -> None:
+        index = build_violation_index(constraints, database)
+        result.iterations.append(iteration)
+        for measure in measures:
+            result.series[measure.name].append(
+                measure.value(constraints, database, index)
+            )
+
+    record(0)
+    for iteration in range(1, iterations + 1):
+        noise.step(database)
+        if iteration % measure_every == 0:
+            record(iteration)
+    result.violation_ratio = violation_ratio(constraints, database)
+    return result
+
+
+def violation_ratio(
+    constraints: Sequence[Constraint], database: Database
+) -> float:
+    """Fraction of violating tuple pairs out of all pairs (paper §6.2.1)."""
+    index = build_violation_index(constraints, database)
+    pairs = sum(1 for group in index.mi_sets if len(group) == 2)
+    n = len(database)
+    total = n * (n - 1) / 2
+    if total == 0:
+        return 0.0
+    return pairs / total

@@ -1,0 +1,49 @@
+"""Dataset statistics and constraint-overlap analysis (Figure 3).
+
+Figure 3 reports, per dataset: #tuples, #attributes, #DCs, an example
+constraint, and (in the bar chart) the min/avg/max ratio of DCs sharing an
+attribute with each DC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints.base import overlap_ratios
+from ..datasets.registry import DATASET_ORDER, get_dataset
+
+
+@dataclass
+class DatasetSummary:
+    """One Figure 3 row plus the overlap bar."""
+
+    name: str
+    paper_tuples: int
+    num_attributes: int
+    num_constraints: int
+    example_constraint: str
+    overlap_min: float
+    overlap_avg: float
+    overlap_max: float
+
+
+def summarize_dataset(name: str) -> DatasetSummary:
+    """Compute the Figure 3 row for one dataset."""
+    spec = get_dataset(name)
+    constraints = spec.make_constraints()
+    ratios = overlap_ratios(constraints)
+    return DatasetSummary(
+        name=spec.name,
+        paper_tuples=spec.paper_tuples,
+        num_attributes=spec.num_attributes,
+        num_constraints=len(constraints),
+        example_constraint=str(constraints[0]),
+        overlap_min=min(ratios) if ratios else 0.0,
+        overlap_avg=sum(ratios) / len(ratios) if ratios else 0.0,
+        overlap_max=max(ratios) if ratios else 0.0,
+    )
+
+
+def summarize_all() -> list[DatasetSummary]:
+    """All Figure 3 rows in paper order."""
+    return [summarize_dataset(name) for name in DATASET_ORDER]

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment outputs.
+
+Benchmarks print the same rows/series the paper reports; these helpers keep
+the formatting consistent and terminal-friendly (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3
+) -> str:
+    """A fixed-width ASCII table."""
+    rendered_rows = [
+        [_render(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    iterations: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    precision: int = 3,
+    max_points: int = 12,
+) -> str:
+    """A compact multi-series table, subsampled to *max_points* rows."""
+    if not iterations:
+        return "(empty series)"
+    step = max(1, len(iterations) // max_points)
+    picked = list(range(0, len(iterations), step))
+    if picked[-1] != len(iterations) - 1:
+        picked.append(len(iterations) - 1)
+    headers = ["iter", *series.keys()]
+    rows = [
+        [iterations[i], *(values[i] for values in series.values())] for i in picked
+    ]
+    return format_table(headers, rows, precision)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sketch of a series (visual sanity check)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high <= low:
+        return blocks[0] * len(values)
+    scale = (len(blocks) - 1) / (high - low)
+    return "".join(blocks[int((value - low) * scale)] for value in values)
+
+
+def _render(cell, precision: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)

@@ -1,0 +1,21 @@
+"""NP-hardness machinery: the MaxCut reduction of Theorem 1."""
+
+from .maxcut import (
+    MaxCutInstance,
+    Reduction,
+    brute_force_max_cut,
+    build_reduction,
+    cut_to_repair_cost,
+    path_egd,
+    verify_reduction,
+)
+
+__all__ = [
+    "MaxCutInstance",
+    "Reduction",
+    "brute_force_max_cut",
+    "build_reduction",
+    "cut_to_repair_cost",
+    "path_egd",
+    "verify_reduction",
+]

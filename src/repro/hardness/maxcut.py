@@ -1,0 +1,217 @@
+"""The MaxCut reduction behind Theorem 1 (Lemma 1 of the appendix).
+
+Computing ``I_R`` for the single path-shaped EGD
+``σ: ∀x,y,z [R(x,y), R(y,z) → x = z]`` is NP-hard, by reduction from MaxCut:
+given a graph with *n* vertices and *m* edges, build a database with
+
+* anchor facts ``R(1, v)`` and ``R(v, 2)`` per vertex ``v`` (deletion cost
+  ``m + 1`` each), and
+* edge facts ``R(u, v)`` and ``R(v, u)`` per edge ``{u, v}`` (unit cost),
+
+so that ``I_R(Σ, D) = (m + 1)·n + 2(m − k) + k`` where *k* is the maximum
+cut size.  This module constructs the reduction, evaluates both directions,
+and ships a brute-force MaxCut oracle for verification on small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Sequence
+
+from ..constraints.egd import Atom, EqualityGeneratingDependency
+from ..relational.database import Database, Fact
+from ..relational.schema import Schema
+from ..repairs.costs import CostFunction, table_cost
+
+VertexName = Hashable
+
+#: Sentinel endpoint values of the anchor facts.  Vertex names must avoid
+#: these; the builder enforces it.
+LEFT_ANCHOR = "1"
+RIGHT_ANCHOR = "2"
+
+
+@dataclass
+class MaxCutInstance:
+    """An undirected graph for the reduction."""
+
+    vertices: tuple[VertexName, ...]
+    edges: tuple[tuple[VertexName, VertexName], ...]
+
+    def __post_init__(self) -> None:
+        vertex_set = set(self.vertices)
+        if len(vertex_set) != len(self.vertices):
+            raise ValueError("duplicate vertices")
+        if LEFT_ANCHOR in vertex_set or RIGHT_ANCHOR in vertex_set:
+            raise ValueError(
+                f"vertex names {LEFT_ANCHOR!r}/{RIGHT_ANCHOR!r} are reserved"
+            )
+        for u, v in self.edges:
+            if u == v:
+                raise ValueError("self-loops are not allowed in MaxCut")
+            if u not in vertex_set or v not in vertex_set:
+                raise ValueError(f"edge ({u!r}, {v!r}) uses unknown vertices")
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+
+def path_egd() -> EqualityGeneratingDependency:
+    """``σ2`` of Example 8: ``R(x,y), R(y,z) → x = z`` (the hard shape)."""
+    return EqualityGeneratingDependency(
+        [Atom("R", ("x", "y")), Atom("R", ("y", "z"))], "x", "z", name="σ2"
+    )
+
+
+@dataclass
+class Reduction:
+    """The constructed instance: database, constraint, and cost function."""
+
+    database: Database
+    egd: EqualityGeneratingDependency
+    cost_function: CostFunction
+    instance: MaxCutInstance
+
+    def expected_ir(self, cut_size: int) -> float:
+        """``(m + 1)·n + 2(m − k) + k`` for a cut of size *k*."""
+        m = self.instance.num_edges
+        n = self.instance.num_vertices
+        return (m + 1) * n + 2 * (m - cut_size) + cut_size
+
+
+def build_reduction(instance: MaxCutInstance) -> Reduction:
+    """Encode a MaxCut instance as an ``I_R`` computation (Lemma 1)."""
+    schema = Schema.from_dict({"R": ["A", "B"]})
+    database = Database(schema)
+    costs: dict[int, float] = {}
+    anchor_cost = instance.num_edges + 1
+    for vertex in instance.vertices:
+        costs[database.insert(Fact("R", (LEFT_ANCHOR, str(vertex))))] = anchor_cost
+        costs[database.insert(Fact("R", (str(vertex), RIGHT_ANCHOR)))] = anchor_cost
+    for u, v in instance.edges:
+        costs[database.insert(Fact("R", (str(v), str(u))))] = 1.0
+        costs[database.insert(Fact("R", (str(u), str(v))))] = 1.0
+    return Reduction(
+        database=database,
+        egd=path_egd(),
+        cost_function=table_cost(costs),
+        instance=instance,
+    )
+
+
+def brute_force_max_cut(instance: MaxCutInstance) -> tuple[int, set[VertexName]]:
+    """Exact MaxCut by enumerating all bipartitions (small graphs only)."""
+    if instance.num_vertices > 22:
+        raise ValueError("brute force limited to 22 vertices")
+    best_size = 0
+    best_side: set[VertexName] = set()
+    vertices = instance.vertices
+    for size in range(len(vertices) + 1):
+        for side in combinations(vertices, size):
+            side_set = set(side)
+            cut = sum(
+                1
+                for u, v in instance.edges
+                if (u in side_set) != (v in side_set)
+            )
+            if cut > best_size:
+                best_size = cut
+                best_side = side_set
+    return best_size, best_side
+
+
+def cut_to_repair_cost(reduction: Reduction, side: set[VertexName]) -> float:
+    """Forward direction of Lemma 1: a cut of size k yields a repair of cost
+    ``(m+1)·n + 2(m−k) + k`` (constructed explicitly and verified consistent).
+    """
+    from ..violations.minimal import is_consistent
+
+    database = reduction.database.copy()
+    instance = reduction.instance
+    side_set = set(side)
+    to_delete: list[int] = []
+    for identifier, fact in database.items():
+        a, b = fact.values
+        if a == LEFT_ANCHOR and b != RIGHT_ANCHOR:
+            vertex = _vertex_named(instance, b)
+            if vertex not in side_set:          # v in S2: drop R(1, v)
+                to_delete.append(identifier)
+        elif b == RIGHT_ANCHOR and a != LEFT_ANCHOR:
+            vertex = _vertex_named(instance, a)
+            if vertex in side_set:              # v in S1: drop R(v, 2)
+                to_delete.append(identifier)
+    kept_left = {
+        database[i].values[1]
+        for i in database.ids()
+        if database[i].values[0] == LEFT_ANCHOR and i not in to_delete
+    }
+    kept_right = {
+        database[i].values[0]
+        for i in database.ids()
+        if database[i].values[1] == RIGHT_ANCHOR and i not in to_delete
+    }
+    for identifier, fact in database.items():
+        a, b = fact.values
+        if LEFT_ANCHOR in (a, b) or RIGHT_ANCHOR in (a, b):
+            continue
+        # Edge fact R(b', a'): delete unless both conflicts are gone.
+        if a in kept_left or b in kept_right:
+            to_delete.append(identifier)
+    cost = sum(
+        reduction.cost_function(_delete(identifier), database)
+        for identifier in to_delete
+    )
+    for identifier in to_delete:
+        database.delete(identifier)
+    if not is_consistent([reduction.egd], database):
+        raise AssertionError("constructed repair is not consistent")
+    return cost
+
+
+def _delete(identifier: int):
+    from ..repairs.operations import DeleteOperation
+
+    return DeleteOperation(identifier)
+
+
+def _vertex_named(instance: MaxCutInstance, name: str) -> VertexName:
+    for vertex in instance.vertices:
+        if str(vertex) == name:
+            return vertex
+    raise KeyError(name)
+
+
+def verify_reduction(
+    instance: MaxCutInstance, max_nodes: int = 2_000_000
+) -> dict[str, float]:
+    """Run both directions on a small instance and return the certificate.
+
+    Computes the exact ``I_R`` on the reduction database (generic solver),
+    the brute-force MaxCut value, and checks
+    ``I_R = (m+1)·n + 2(m−k*) + k*``.
+    """
+    from ..repairs.minimum_repair import minimum_subset_repair
+
+    reduction = build_reduction(instance)
+    cut_size, side = brute_force_max_cut(instance)
+    expected = reduction.expected_ir(cut_size)
+    repair = minimum_subset_repair(
+        [reduction.egd],
+        reduction.database,
+        cost_function=reduction.cost_function,
+        max_nodes=max_nodes,
+    )
+    constructed = cut_to_repair_cost(reduction, side)
+    return {
+        "max_cut": float(cut_size),
+        "expected_ir": float(expected),
+        "computed_ir": float(repair.cost),
+        "constructed_repair_cost": float(constructed),
+        "matches": float(abs(repair.cost - expected) < 1e-9),
+    }

@@ -1,0 +1,44 @@
+"""Inconsistency measures: I_d, I_MI, I_P, I_MC, I'_MC, I_R, I_lin_R."""
+
+from .base import InconsistencyMeasure, normalize_series
+from .drastic import DrasticMeasure
+from .linear_relaxation import LinearRelaxationMeasure
+from .mc import MaximalConsistentMeasure, MaximalConsistentPrimeMeasure
+from .mi import MinimalInconsistentMeasure
+from .minimal_repair import MinimumRepairMeasure, MinimumUpdateRepairMeasure
+from .problematic import ProblematicFactsMeasure
+from .shapley import (
+    rank_facts_by_blame,
+    shapley_values_exact,
+    shapley_values_mi,
+    shapley_values_sampled,
+)
+from .registry import (
+    FIGURE_MEASURES,
+    TABLE2_MEASURES,
+    available_measures,
+    make_measure,
+    make_measures,
+)
+
+__all__ = [
+    "DrasticMeasure",
+    "FIGURE_MEASURES",
+    "InconsistencyMeasure",
+    "LinearRelaxationMeasure",
+    "MaximalConsistentMeasure",
+    "MaximalConsistentPrimeMeasure",
+    "MinimalInconsistentMeasure",
+    "MinimumRepairMeasure",
+    "MinimumUpdateRepairMeasure",
+    "ProblematicFactsMeasure",
+    "TABLE2_MEASURES",
+    "available_measures",
+    "make_measure",
+    "make_measures",
+    "normalize_series",
+    "rank_facts_by_blame",
+    "shapley_values_exact",
+    "shapley_values_mi",
+    "shapley_values_sampled",
+]

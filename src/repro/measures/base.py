@@ -1,0 +1,66 @@
+"""Inconsistency-measure framework.
+
+An inconsistency measure maps ``(Σ, D)`` to a non-negative number that is
+zero on consistent databases and invariant under logical equivalence of Σ
+(Section 3).  Concrete measures subclass :class:`InconsistencyMeasure`; all
+of them accept an optional precomputed :class:`ViolationIndex` so a batch of
+measures over the same ``(Σ, D)`` shares the (dominant) violation-detection
+work, mirroring how the paper's implementation shares the SQL step.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..violations.minimal import ViolationIndex, build_violation_index
+
+
+class InconsistencyMeasure(ABC):
+    """Base class: ``I(Σ, D) ∈ [0, ∞)``."""
+
+    #: Short identifier used in registries, tables and plots (e.g. "I_MI").
+    name: str = "I"
+
+    #: Whether the measure needs an underlying repair system (I_R, I_lin_R).
+    repair_aware: bool = False
+
+    @abstractmethod
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        """Compute ``I(Σ, D)``; *index* short-circuits violation detection."""
+
+    def __call__(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        return self.value(constraints, database, index)
+
+    def _ensure_index(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None,
+    ) -> ViolationIndex:
+        if index is not None:
+            return index
+        return build_violation_index(constraints, database)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+def normalize_series(values: Sequence[float]) -> list[float]:
+    """Scale a measurement series to [0, 1] by its maximum (paper figures)."""
+    peak = max(values, default=0.0)
+    if peak <= 0:
+        return [0.0 for _ in values]
+    return [value / peak for value in values]

@@ -1,0 +1,31 @@
+"""The drastic measure ``I_d`` — the indicator of inconsistency."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..violations.minimal import ViolationIndex, is_consistent
+from .base import InconsistencyMeasure
+
+
+class DrasticMeasure(InconsistencyMeasure):
+    """``I_d(Σ, D) = 0`` if ``D ⊨ Σ`` else 1.
+
+    Tractable, but useless for progress indication: it violates progression
+    and bounded continuity (Table 2).
+    """
+
+    name = "I_d"
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        if index is not None:
+            return 0.0 if index.is_consistent() else 1.0
+        # Early-exit consistency check: no need to materialize all conflicts.
+        return 0.0 if is_consistent(list(constraints), database) else 1.0

@@ -1,0 +1,86 @@
+"""``I_MC`` and ``I'_MC`` — maximal-consistent-subset counting.
+
+``I_MC(Σ, D) = |MC_Σ(D)| − 1`` where ``MC_Σ(D)`` is the family of maximal
+consistent subsets of D.  ``I'_MC`` additionally counts self-inconsistent
+(contradictory) tuples, restoring positivity for general DCs.
+
+Counting is #P-complete already for FDs (it is maximal-independent-set
+counting on the conflict graph), which the paper demonstrates with 24-hour
+timeouts; the enumerator here accepts a budget and raises
+:class:`~repro.solvers.cliques.EnumerationBudgetExceeded` beyond it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..solvers.cliques import (
+    count_maximal_independent_sets,
+    maximal_sets_avoiding,
+)
+from ..violations.minimal import ViolationIndex
+from .base import InconsistencyMeasure
+
+
+class MaximalConsistentMeasure(InconsistencyMeasure):
+    """``I_MC`` — fails positivity for DCs, monotonicity and progression even
+    for FDs, and is #P-hard to compute (Table 2)."""
+
+    name = "I_MC"
+
+    def __init__(self, enumeration_limit: int | None = 2_000_000) -> None:
+        self.enumeration_limit = enumeration_limit
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        index = self._ensure_index(constraints, database, index)
+        return float(self._count_mcs(database, index) - 1)
+
+    def _count_mcs(self, database: Database, index: ViolationIndex) -> int:
+        if index.is_consistent():
+            return 1
+        # Self-inconsistent facts belong to no consistent subset; they are
+        # simply absent from every MCS, so drop them (and any MI set that
+        # contains one — those are exactly the singletons after minimization).
+        poisoned = index.self_inconsistent
+        usable = [i for i in database.ids() if i not in poisoned]
+        groups = [group for group in index.mi_sets if len(group) >= 2]
+        if not groups:
+            return 1
+        if all(len(group) == 2 for group in groups):
+            edges = [tuple(sorted(group)) for group in groups]
+            involved = {v for edge in edges for v in edge}
+            # Facts outside the conflict graph are in every MCS and do not
+            # change the count.
+            del involved
+            return count_maximal_independent_sets(
+                usable, edges, limit=self.enumeration_limit
+            )
+        return sum(
+            1
+            for _ in maximal_sets_avoiding(
+                usable, groups, limit=self.enumeration_limit
+            )
+        )
+
+
+class MaximalConsistentPrimeMeasure(MaximalConsistentMeasure):
+    """``I'_MC = |MC_Σ(D)| + |SelfInconsistencies(D)| − 1``."""
+
+    name = "I'_MC"
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        index = self._ensure_index(constraints, database, index)
+        mcs = self._count_mcs(database, index)
+        return float(mcs + len(index.self_inconsistent) - 1)

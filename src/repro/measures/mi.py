@@ -1,0 +1,30 @@
+"""``I_MI`` — the number of minimal inconsistent subsets."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..violations.minimal import ViolationIndex
+from .base import InconsistencyMeasure
+
+
+class MinimalInconsistentMeasure(InconsistencyMeasure):
+    """``I_MI(Σ, D) = |MI_Σ(D)|`` (the MI Shapley Inconsistency).
+
+    Tractable for DCs (bounded witness width) and monotone for FDs, but it
+    violates monotonicity for general DCs (Proposition 1) and bounded
+    continuity (Proposition 4).
+    """
+
+    name = "I_MI"
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        index = self._ensure_index(constraints, database, index)
+        return float(len(index.mi_sets))

@@ -1,0 +1,88 @@
+"""``I_R`` — the minimum-repair measure (deletions and updates)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..repairs.costs import CostFunction
+from ..repairs.minimum_repair import minimum_subset_repair
+from ..repairs.update_repair import minimum_update_repair
+from ..violations.minimal import ViolationIndex
+from .base import InconsistencyMeasure
+
+
+class MinimumRepairMeasure(InconsistencyMeasure):
+    """``I_R(Σ, D)`` under the subset system R⊆.
+
+    The minimum cost of a deletion sequence reaching consistency — the
+    optimal hitting set of ``MI_Σ(D)``, i.e. the ILP of Figure 2.  Satisfies
+    all four rationality properties but is NP-hard in general (Theorem 1),
+    which the exact solver's node budget surfaces as
+    :class:`~repro.solvers.ilp.BudgetExceeded` on adversarial inputs.
+    """
+
+    name = "I_R"
+    repair_aware = True
+
+    def __init__(
+        self,
+        cost_function: CostFunction | None = None,
+        max_nodes: int = 500_000,
+    ) -> None:
+        self.cost_function = cost_function
+        self.max_nodes = max_nodes
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        index = self._ensure_index(constraints, database, index)
+        repair = minimum_subset_repair(
+            constraints,
+            database,
+            cost_function=self.cost_function,
+            index=index,
+            max_nodes=self.max_nodes,
+        )
+        return repair.cost
+
+
+class MinimumUpdateRepairMeasure(InconsistencyMeasure):
+    """``I_R(Σ, D)`` under the update system — unit-cost attribute updates.
+
+    Exact but exponential (see :mod:`repro.repairs.update_repair`); intended
+    for the running example and small tests, exactly like the paper's
+    Table 1 column "I_R (updates)".
+    """
+
+    name = "I_R_upd"
+    repair_aware = True
+
+    def __init__(
+        self,
+        max_updates: int = 12,
+        allow_fresh: bool = True,
+        updatable_attributes: set[str] | None = None,
+    ) -> None:
+        self.max_updates = max_updates
+        self.allow_fresh = allow_fresh
+        self.updatable_attributes = updatable_attributes
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        repair = minimum_update_repair(
+            constraints,
+            database,
+            max_updates=self.max_updates,
+            allow_fresh=self.allow_fresh,
+            updatable_attributes=self.updatable_attributes,
+        )
+        return repair.cost

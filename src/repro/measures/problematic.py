@@ -1,0 +1,30 @@
+"""``I_P`` — the number of problematic facts."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..violations.minimal import ViolationIndex
+from .base import InconsistencyMeasure
+
+
+class ProblematicFactsMeasure(InconsistencyMeasure):
+    """``I_P(Σ, D) = |∪ MI_Σ(D)|`` — facts occurring in some minimal
+    inconsistent subset.
+
+    Reacts disproportionally to single operations: deleting one fact can
+    clear the problematic status of arbitrarily many others (Proposition 4).
+    """
+
+    name = "I_P"
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        index = self._ensure_index(constraints, database, index)
+        return float(len(index.problematic))

@@ -1,0 +1,51 @@
+"""Measure registry — name-keyed construction for experiments and benches."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .base import InconsistencyMeasure
+from .drastic import DrasticMeasure
+from .linear_relaxation import LinearRelaxationMeasure
+from .mc import MaximalConsistentMeasure, MaximalConsistentPrimeMeasure
+from .mi import MinimalInconsistentMeasure
+from .minimal_repair import MinimumRepairMeasure, MinimumUpdateRepairMeasure
+from .problematic import ProblematicFactsMeasure
+
+_FACTORIES: dict[str, Callable[[], InconsistencyMeasure]] = {
+    "I_d": DrasticMeasure,
+    "I_MI": MinimalInconsistentMeasure,
+    "I_P": ProblematicFactsMeasure,
+    "I_MC": MaximalConsistentMeasure,
+    "I'_MC": MaximalConsistentPrimeMeasure,
+    "I_R": MinimumRepairMeasure,
+    "I_R_upd": MinimumUpdateRepairMeasure,
+    "I_lin_R": LinearRelaxationMeasure,
+}
+
+#: The five measures tracked in the paper's behaviour figures (Fig. 4, 6, 7).
+FIGURE_MEASURES = ("I_d", "I_MI", "I_P", "I_R", "I_lin_R")
+
+#: All measures of Table 2.
+TABLE2_MEASURES = ("I_d", "I_MI", "I_P", "I_MC", "I'_MC", "I_R", "I_lin_R")
+
+
+def make_measure(name: str) -> InconsistencyMeasure:
+    """Instantiate a measure by its paper name (e.g. ``"I_lin_R"``)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown measure {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def make_measures(names: Sequence[str]) -> list[InconsistencyMeasure]:
+    """Instantiate several measures."""
+    return [make_measure(name) for name in names]
+
+
+def available_measures() -> list[str]:
+    """Names of all registered measures."""
+    return sorted(_FACTORIES)

@@ -1,0 +1,149 @@
+"""Shapley values of inconsistency — attributing ``I(Σ, D)`` to facts.
+
+The paper's introduction motivates prioritizing repair actions by each
+tuple's *responsibility* for the inconsistency level, citing the Shapley
+value of inconsistency measures [Hunter & Konieczny 2010; Livshits &
+Kimelfeld 2020].  For a measure ``I`` and a fact ``f``::
+
+    Shapley(f) = Σ_{E ⊆ D \\ {f}}  |E|! (n - |E| - 1)! / n!  ·
+                 [ I(Σ, E ∪ {f}) − I(Σ, E) ]
+
+This module implements the exact value by subset enumeration (exponential —
+small databases only) and a Monte-Carlo permutation-sampling estimator for
+larger ones, plus the classic closed form for ``I_MI``: under ``I_MI`` the
+Shapley value of a fact is the sum over the MI sets containing it of
+``1 / |MI set|`` (each minimal inconsistent subset distributes one unit of
+blame equally among its members).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..violations.minimal import build_violation_index
+from .base import InconsistencyMeasure
+
+
+def shapley_values_exact(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    database: Database,
+    max_facts: int = 12,
+) -> dict[int, float]:
+    """Exact Shapley value of every fact w.r.t. *measure*.
+
+    Enumerates all ``2^n`` subsets; guarded by *max_facts*.
+    """
+    ids = database.ids()
+    n = len(ids)
+    if n > max_facts:
+        raise ValueError(
+            f"exact Shapley enumeration limited to {max_facts} facts "
+            f"(got {n}); use shapley_values_sampled"
+        )
+    # Cache I on every subset (identified by frozenset of ids).
+    cache: dict[frozenset[int], float] = {}
+
+    def value_of(subset: frozenset[int]) -> float:
+        if subset not in cache:
+            cache[subset] = measure.value(
+                constraints, database.subset(subset)
+            )
+        return cache[subset]
+
+    factorial = math.factorial
+    denominator = factorial(n)
+    shapley = {identifier: 0.0 for identifier in ids}
+    id_set = set(ids)
+    for identifier in ids:
+        others = sorted(id_set - {identifier})
+        for mask in range(1 << len(others)):
+            subset = frozenset(
+                others[bit] for bit in range(len(others)) if mask >> bit & 1
+            )
+            weight = (
+                factorial(len(subset))
+                * factorial(n - len(subset) - 1)
+                / denominator
+            )
+            marginal = value_of(subset | {identifier}) - value_of(subset)
+            shapley[identifier] += weight * marginal
+    return shapley
+
+
+def shapley_values_sampled(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    database: Database,
+    samples: int = 200,
+    seed: int | None = None,
+) -> dict[int, float]:
+    """Monte-Carlo Shapley estimate via random permutations.
+
+    Each sampled permutation contributes one marginal per fact; the estimate
+    is unbiased and concentrates as ``O(1/sqrt(samples))``.
+    """
+    rng = random.Random(seed)
+    ids = database.ids()
+    totals = {identifier: 0.0 for identifier in ids}
+    for _ in range(samples):
+        order = list(ids)
+        rng.shuffle(order)
+        previous_value = 0.0
+        prefix: set[int] = set()
+        for identifier in order:
+            prefix.add(identifier)
+            current_value = measure.value(
+                constraints, database.subset(prefix)
+            )
+            totals[identifier] += current_value - previous_value
+            previous_value = current_value
+    return {identifier: total / samples for identifier, total in totals.items()}
+
+
+def shapley_values_mi(
+    constraints: Sequence[Constraint],
+    database: Database,
+) -> dict[int, float]:
+    """Closed-form Shapley values for ``I_MI`` (polynomial time).
+
+    For counting measures over minimal inconsistent subsets, each MI set E
+    contributes ``1/|E|`` to every member [Hunter & Konieczny 2010], because
+    within any permutation exactly the last-arriving member of E completes
+    it... averaged over permutations each member is last with probability
+    ``1/|E|``.
+    """
+    index = build_violation_index(constraints, database)
+    shapley = {identifier: 0.0 for identifier in database.ids()}
+    for group in index.mi_sets:
+        share = 1.0 / len(group)
+        for identifier in group:
+            shapley[identifier] += share
+    return shapley
+
+
+def rank_facts_by_blame(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    database: Database,
+    samples: int = 200,
+    seed: int | None = None,
+) -> list[tuple[int, float]]:
+    """Facts sorted by (estimated) Shapley responsibility, highest first.
+
+    The action-prioritization entry point: clean the top-ranked facts first.
+    Uses the closed form when the measure is I_MI, sampling otherwise.
+    """
+    if measure.name == "I_MI":
+        values = shapley_values_mi(constraints, database)
+    elif len(database) <= 10:
+        values = shapley_values_exact(measure, constraints, database)
+    else:
+        values = shapley_values_sampled(
+            measure, constraints, database, samples=samples, seed=seed
+        )
+    return sorted(values.items(), key=lambda item: (-item[1], item[0]))

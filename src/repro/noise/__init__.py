@@ -1,0 +1,7 @@
+"""Noise models: CONoise (constraint-oriented) and RNoise (random cells)."""
+
+from .conoise import CONoise
+from .rnoise import RNoise
+from .typos import make_typo
+
+__all__ = ["CONoise", "RNoise", "make_typo"]

@@ -1,0 +1,125 @@
+"""RNoise — random cell-level noise with Zipf skew (§6.1 of the paper).
+
+Parameters:
+
+* ``alpha`` — fraction of cells to modify over a full run;
+* ``beta`` — Zipf skew of active-domain value selection (0 = uniform);
+* ``typo_probability`` — probability of corrupting to a typo instead of an
+  active-domain value (the paper uses 0.5, and 0.2/0.8 in Appendix D.1).
+
+Each iteration picks a random cell *on an attribute that occurs in at least
+one constraint* and rewrites it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from .typos import make_typo
+
+
+class RNoise:
+    """Stateful random-noise generator."""
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        alpha: float = 0.01,
+        beta: float = 0.0,
+        typo_probability: float = 0.5,
+        seed: int | None = None,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        if not 0 <= typo_probability <= 1:
+            raise ValueError("typo_probability must be in [0, 1]")
+        self.constraints = list(constraints)
+        self.alpha = alpha
+        self.beta = beta
+        self.typo_probability = typo_probability
+        self.rng = random.Random(seed)
+
+    def total_iterations(self, database: Database) -> int:
+        """Number of cell modifications for a full run: ``α · #cells``.
+
+        Cells are counted over constrained attributes only, matching the
+        sampling space.
+        """
+        cells = 0
+        attributes = self._constrained_attributes()
+        for _, fact in database.items():
+            signature = database.schema.signature(fact.relation)
+            cells += sum(
+                1
+                for attribute in signature.attributes
+                if (fact.relation, attribute) in attributes
+            )
+        return max(1, int(self.alpha * cells))
+
+    def run(self, database: Database, iterations: int | None = None) -> None:
+        """Apply noise in place; default iteration count is ``α · #cells``."""
+        if iterations is None:
+            iterations = self.total_iterations(database)
+        for _ in range(iterations):
+            self.step(database)
+
+    def step(self, database: Database) -> None:
+        """Modify one random constrained cell."""
+        cell = self._pick_cell(database)
+        if cell is None:
+            return
+        identifier, attribute = cell
+        fact = database[identifier]
+        current = database.get_cell(identifier, attribute)
+        if self.rng.random() < self.typo_probability:
+            value = make_typo(current, self.rng)
+        else:
+            value = self._zipf_value(database, fact.relation, attribute, current)
+        if value == current:
+            value = make_typo(current, self.rng)
+        database.update(identifier, attribute, value)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _constrained_attributes(self) -> set[tuple[str, str]]:
+        involved: set[tuple[str, str]] = set()
+        for constraint in self.constraints:
+            involved |= constraint.attributes_involved()
+        return involved
+
+    def _pick_cell(self, database: Database) -> tuple[int, str] | None:
+        attributes = self._constrained_attributes()
+        identifiers = database.ids()
+        if not identifiers or not attributes:
+            return None
+        for _ in range(64):  # rejection sampling over (fact, attribute)
+            identifier = self.rng.choice(identifiers)
+            fact = database[identifier]
+            signature = database.schema.signature(fact.relation)
+            eligible = [
+                attribute
+                for attribute in signature.attributes
+                if (fact.relation, attribute) in attributes
+            ]
+            if eligible:
+                return identifier, self.rng.choice(eligible)
+        return None
+
+    def _zipf_value(
+        self, database: Database, relation: str, attribute: str, current
+    ):
+        """Sample from the active domain with probability ∝ rank^(−β)."""
+        values = database.active_domain(relation, attribute).values_by_frequency()
+        values = [value for value in values if value != current]
+        if not values:
+            return current
+        if self.beta == 0:
+            return self.rng.choice(values)
+        weights = [1.0 / (rank + 1) ** self.beta for rank in range(len(values))]
+        return self.rng.choices(values, weights=weights, k=1)[0]

@@ -1,0 +1,56 @@
+"""Typo generation for the RNoise model.
+
+RNoise changes a cell either to another active-domain value or to a *typo*.
+A typo perturbs the current value: character-level edits for strings, digit
+perturbation for numbers — mirroring common entry errors in the datasets the
+paper draws from.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from ..relational.values import Value
+
+_ALPHABET = string.ascii_letters + string.digits
+
+
+def make_typo(value: Value, rng: random.Random) -> Value:
+    """A plausible corruption of *value* (never equal to it)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        delta = rng.choice([-2, -1, 1, 2, 10, -10, 100])
+        return value + delta
+    if isinstance(value, float):
+        factor = rng.choice([0.5, 0.9, 1.1, 2.0, 10.0])
+        corrupted = round(value * factor, 6)
+        return corrupted if corrupted != value else value + 1.0
+    text = "" if value is None else str(value)
+    return _string_typo(text, rng)
+
+
+def _string_typo(text: str, rng: random.Random) -> str:
+    if not text:
+        return rng.choice(_ALPHABET)
+    kind = rng.randrange(4)
+    index = rng.randrange(len(text))
+    if kind == 0:  # substitute
+        replacement = rng.choice(_ALPHABET)
+        while replacement == text[index]:
+            replacement = rng.choice(_ALPHABET)
+        return text[:index] + replacement + text[index + 1:]
+    if kind == 1:  # insert
+        return text[:index] + rng.choice(_ALPHABET) + text[index:]
+    if kind == 2 and len(text) > 1:  # delete
+        return text[:index] + text[index + 1:]
+    # transpose (or fall through for length-1 strings)
+    if len(text) > 1:
+        j = index if index < len(text) - 1 else index - 1
+        swapped = list(text)
+        swapped[j], swapped[j + 1] = swapped[j + 1], swapped[j]
+        result = "".join(swapped)
+        if result != text:
+            return result
+    return text + rng.choice(_ALPHABET)

@@ -1,0 +1,29 @@
+"""Rationality properties: definitions, checkers, executable counterexamples."""
+
+from .checker import (
+    PropertyViolation,
+    weighted_continuity_ratio,
+    best_improvement,
+    check_monotonicity,
+    check_positivity,
+    check_progression,
+    continuity_ratio,
+    scan_for_violations,
+)
+from .definitions import TABLE2_DC, TABLE2_FD, Property
+from . import counterexamples
+
+__all__ = [
+    "Property",
+    "PropertyViolation",
+    "TABLE2_DC",
+    "TABLE2_FD",
+    "best_improvement",
+    "check_monotonicity",
+    "check_positivity",
+    "check_progression",
+    "continuity_ratio",
+    "counterexamples",
+    "scan_for_violations",
+    "weighted_continuity_ratio",
+]

@@ -1,0 +1,186 @@
+"""Empirical property checking for inconsistency measures.
+
+These checkers *verify* a property on concrete inputs (or find violations):
+positivity and progression are decidable per instance; monotonicity is
+checked against given Σ ⊨ Σ' pairs; continuity is probed by computing the
+best-available single-operation improvement on pairs of databases.  Together
+with the executable counterexamples they regenerate Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..constraints.base import Constraint
+from ..measures.base import InconsistencyMeasure
+from ..relational.database import Database
+from ..repairs.operations import Operation
+from ..repairs.system import RepairSystem, subset_system
+from ..violations.minimal import is_consistent
+
+
+@dataclass
+class PropertyViolation:
+    """A concrete witness that a property fails."""
+
+    property_name: str
+    measure: str
+    detail: str
+
+
+def check_positivity(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    database: Database,
+) -> PropertyViolation | None:
+    """Positivity on one instance: inconsistent ⇒ I > 0."""
+    if is_consistent(list(constraints), database):
+        return None
+    value = measure.value(constraints, database)
+    if value > 0:
+        return None
+    return PropertyViolation(
+        "positivity",
+        measure.name,
+        f"database is inconsistent but {measure.name} = {value}",
+    )
+
+
+def check_monotonicity(
+    measure: InconsistencyMeasure,
+    weaker: Sequence[Constraint],
+    stronger: Sequence[Constraint],
+    database: Database,
+) -> PropertyViolation | None:
+    """Monotonicity on one instance, given that *stronger* ⊨ *weaker*."""
+    weak_value = measure.value(weaker, database)
+    strong_value = measure.value(stronger, database)
+    if weak_value <= strong_value + 1e-9:
+        return None
+    return PropertyViolation(
+        "monotonicity",
+        measure.name,
+        f"I(weaker) = {weak_value} > I(stronger) = {strong_value}",
+    )
+
+
+def check_progression(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    database: Database,
+    system: RepairSystem | None = None,
+    max_operations: int | None = None,
+) -> PropertyViolation | None:
+    """Progression on one instance: some operation strictly reduces I."""
+    if is_consistent(list(constraints), database):
+        return None
+    system = system or subset_system()
+    current = measure.value(constraints, database)
+    for count, operation in enumerate(system.applicable_operations(database)):
+        if max_operations is not None and count >= max_operations:
+            break
+        after = measure.value(constraints, operation.apply(database))
+        if after < current - 1e-9:
+            return None
+    return PropertyViolation(
+        "progression",
+        measure.name,
+        f"no single operation reduces {measure.name} below {current}",
+    )
+
+
+def best_improvement(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    database: Database,
+    system: RepairSystem | None = None,
+) -> tuple[float, Operation | None]:
+    """``max_o Δ(o, D)`` and an operation attaining it."""
+    system = system or subset_system()
+    current = measure.value(constraints, database)
+    best_delta = 0.0
+    best_op: Operation | None = None
+    for operation in system.applicable_operations(database):
+        delta = current - measure.value(constraints, operation.apply(database))
+        if delta > best_delta + 1e-12:
+            best_delta = delta
+            best_op = operation
+    return best_delta, best_op
+
+
+def continuity_ratio(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    source: tuple[Database, Operation],
+    target: Database,
+    system: RepairSystem | None = None,
+) -> float:
+    """``Δ(o1, D1) / max_o2 Δ(o2, D2)`` — the δ required by continuity.
+
+    A family of instances driving this ratio to infinity refutes bounded
+    continuity (Proposition 4's construction does exactly that).
+    """
+    database1, operation1 = source
+    delta1 = measure.value(constraints, database1) - measure.value(
+        constraints, operation1.apply(database1)
+    )
+    delta2, _ = best_improvement(measure, constraints, target, system)
+    if delta2 <= 0:
+        return float("inf") if delta1 > 0 else 1.0
+    return delta1 / delta2
+
+
+def weighted_continuity_ratio(
+    measure: InconsistencyMeasure,
+    constraints: Sequence[Constraint],
+    source: tuple[Database, Operation],
+    target: Database,
+    system: RepairSystem | None = None,
+) -> float:
+    """The weighted-δ-continuity ratio: deltas are divided by costs.
+
+    ``(Δ(o1,D1)/κ(o1,D1)) / max_o2 (Δ(o2,D2)/κ(o2,D2))`` — the quantity the
+    weighted variant of the property bounds.  ``I_lin_R`` satisfies constant
+    *weighted* continuity (Theorem 2); the unweighted ratio can exceed it by
+    at most the cost spread.
+    """
+    system = system or subset_system()
+    database1, operation1 = source
+    cost1 = system.cost(operation1, database1)
+    if cost1 <= 0:
+        return 0.0
+    delta1 = (
+        measure.value(constraints, database1)
+        - measure.value(constraints, operation1.apply(database1))
+    ) / cost1
+    best_rate = 0.0
+    for operation2 in system.applicable_operations(target):
+        cost2 = system.cost(operation2, target)
+        if cost2 <= 0:
+            continue
+        delta2 = (
+            measure.value(constraints, target)
+            - measure.value(constraints, operation2.apply(target))
+        ) / cost2
+        best_rate = max(best_rate, delta2)
+    if best_rate <= 0:
+        return float("inf") if delta1 > 0 else 1.0
+    return delta1 / best_rate
+
+
+def scan_for_violations(
+    measure: InconsistencyMeasure,
+    cases: Iterable[tuple[Sequence[Constraint], Database]],
+    system: RepairSystem | None = None,
+) -> list[PropertyViolation]:
+    """Run positivity and progression over a case suite."""
+    violations: list[PropertyViolation] = []
+    for constraints, database in cases:
+        for result in (
+            check_positivity(measure, constraints, database),
+            check_progression(measure, constraints, database, system),
+        ):
+            if result is not None:
+                violations.append(result)
+    return violations

@@ -1,0 +1,193 @@
+"""Executable versions of the paper's counterexamples.
+
+Every ✗ entry of Table 2 is witnessed by a construction from the paper;
+this module builds each one so tests and the Table 2 bench can *demonstrate*
+the violations rather than assert them.
+
+* :func:`imi_monotonicity_dc` — Proposition 1, first part (the at-most-k DC);
+* :func:`ip_monotonicity_dc` — Proposition 1, second part (σ1 vs σ1σ2);
+* :func:`imc_monotonicity_fd` — Proposition 2 (the 4-fact R(A,B,C,D) database);
+* :func:`imc_progression_fd` — Example 7 (same database, Σ2);
+* :func:`continuity_family` — Proposition 4 (the f0/fi/f_j^k family);
+* :func:`update_progression_mi` — Example 10 (updates cannot fix both FDs);
+* :func:`update_progression_violations` — Example 11 (no single update
+  decreases the number of minimal violations).
+"""
+
+from __future__ import annotations
+
+from ..constraints.base import ComparisonOp
+from ..constraints.dc import DenialConstraint, Predicate, Term
+from ..constraints.egd import Atom, EqualityGeneratingDependency
+from ..constraints.fd import FunctionalDependency
+from ..relational.database import Database, Fact
+from ..relational.schema import Schema
+
+
+# ----------------------------------------------------------------------
+# Proposition 1 — I_MI and I_P break monotonicity for DCs
+# ----------------------------------------------------------------------
+def at_most_k_dc(k: int, relation: str = "R") -> DenialConstraint:
+    """Σ_{k+1}: "at most k facts" as a DC over k+1 tuple variables.
+
+    Violated by any k+1 facts with pairwise-distinct Id values.
+    """
+    variables = [(f"t{i}", relation) for i in range(k + 1)]
+    predicates = [
+        Predicate(
+            Term.col(f"t{i}", "Id"), ComparisonOp.NE, Term.col(f"t{j}", "Id")
+        )
+        for i in range(k + 1)
+        for j in range(i + 1, k + 1)
+    ]
+    return DenialConstraint(variables, predicates, name=f"at_most_{k}")
+
+
+def imi_monotonicity_dc(
+    n: int = 6, k: int = 2, k_prime: int = 3
+) -> tuple[list[DenialConstraint], list[DenialConstraint], Database]:
+    """(weaker Σ_k', stronger Σ_k, D): Σ_k ⊨ Σ_k' yet I_MI(Σ_k') > I_MI(Σ_k).
+
+    ``I_MI(Σ_k, D) = C(n, k)``, so with n ≥ 2k' the *weaker* constraint has
+    more minimal inconsistent subsets.
+    """
+    if not k < k_prime <= n // 2:
+        raise ValueError("need k < k' <= n/2 for the counterexample to bite")
+    schema = Schema.from_dict({"R": ["Id"]})
+    database = Database.from_rows(schema, "R", [(i,) for i in range(n)])
+    stronger = [at_most_k_dc(k - 1)]       # "at most k-1 facts" = Σ_k
+    weaker = [at_most_k_dc(k_prime - 1)]   # Σ_k'
+    return weaker, stronger, database
+
+
+def ip_monotonicity_dc() -> tuple[
+    list[EqualityGeneratingDependency],
+    list[EqualityGeneratingDependency],
+    Database,
+    Schema,
+]:
+    """(Σ1, Σ2, D): Σ2 ⊨ Σ1 and |P_Σ1(D)| > |P_Σ2(D)| (Proposition 1).
+
+    σ1 = R(x,y), S(x,z), S(x,w) → z = w ; σ2 = S(x,z), S(x,w) → z = w.
+    In D = {R(a,b), S(a,c), S(a,d)} the σ1-witness uses three facts while
+    the σ2-witness uses two, so I_P drops when σ2 is *added*.
+    """
+    schema = Schema.from_dict({"R": ["A", "B"], "S": ["A", "B"]})
+    sigma1 = EqualityGeneratingDependency(
+        [Atom("R", ("x", "y")), Atom("S", ("x", "z")), Atom("S", ("x", "w"))],
+        "z",
+        "w",
+        name="σ1",
+    )
+    sigma2 = EqualityGeneratingDependency(
+        [Atom("S", ("x", "z")), Atom("S", ("x", "w"))], "z", "w", name="σ2"
+    )
+    sigma1.bind_schema(schema)
+    sigma2.bind_schema(schema)
+    database = Database.from_facts(
+        schema,
+        [Fact("R", ("a", "b")), Fact("S", ("a", "c")), Fact("S", ("a", "d"))],
+    )
+    return [sigma1], [sigma1, sigma2], database, schema
+
+
+# ----------------------------------------------------------------------
+# Proposition 2 / Example 7 — I_MC breaks monotonicity and progression
+# ----------------------------------------------------------------------
+def imc_monotonicity_fd() -> tuple[
+    list[FunctionalDependency], list[FunctionalDependency], Database
+]:
+    """(Σ1, Σ2, D) with Σ2 ⊨ Σ1 and I_MC(Σ1, D) = 3 > 1 = I_MC(Σ2, D)."""
+    schema = Schema.from_dict({"R": ["A", "B", "C", "D"]})
+    database = Database.from_rows(
+        schema,
+        "R",
+        [(0, 0, 0, 0), (1, 0, 0, 0), (1, 1, 0, 1), (0, 1, 0, 1)],
+    )
+    sigma1 = [FunctionalDependency("R", {"A"}, {"B"})]
+    sigma2 = [
+        FunctionalDependency("R", {"A"}, {"B"}),
+        FunctionalDependency("R", {"C"}, {"D"}),
+    ]
+    return sigma1, sigma2, database
+
+
+def imc_progression_fd() -> tuple[list[FunctionalDependency], Database]:
+    """Example 7: no deletion changes I_MC(Σ2, D) = 1."""
+    _, sigma2, database = imc_monotonicity_fd()
+    return sigma2, database
+
+
+# ----------------------------------------------------------------------
+# Proposition 4 — unbounded continuity for I_d, I_MI, I_P (FDs, R⊆)
+# ----------------------------------------------------------------------
+def continuity_family(n: int) -> tuple[list[FunctionalDependency], Database, int]:
+    """The Proposition 4 database D_n with Σ = {A → B}.
+
+    Facts: f0 = R(0,0,0); f_i = R(0,1,i) for i in 1..n; and pairs
+    f_j^1 = R(j,1,0), f_j^2 = R(j,2,0) for j in 1..n.  Deleting f0 (returned
+    identifier) drops I_MI by n and I_P by n+1, while afterwards any single
+    deletion changes them by at most 1 / 2 — the ratio grows with n.
+    """
+    schema = Schema.from_dict({"R": ["A", "B", "C"]})
+    database = Database(schema)
+    f0 = database.insert(Fact("R", (0, 0, 0)))
+    for i in range(1, n + 1):
+        database.insert(Fact("R", (0, 1, i)))
+    for j in range(1, n + 1):
+        database.insert(Fact("R", (j, 1, 0)))
+        database.insert(Fact("R", (j, 2, 0)))
+    constraints = [FunctionalDependency("R", {"A"}, {"B"})]
+    return constraints, database, f0
+
+
+# ----------------------------------------------------------------------
+# Examples 10 and 11 — update repairs break progression for I_MI / I_P
+# ----------------------------------------------------------------------
+def update_progression_mi() -> tuple[list[FunctionalDependency], Database]:
+    """Example 10: two facts violating both A→B and C→D; a single update
+    cannot resolve both conflicts, so I_MI and I_P are stuck."""
+    schema = Schema.from_dict({"R": ["A", "B", "C", "D"]})
+    database = Database.from_rows(schema, "R", [(0, 0, 0, 0), (0, 1, 0, 1)])
+    constraints = [
+        FunctionalDependency("R", {"A"}, {"B"}),
+        FunctionalDependency("R", {"C"}, {"D"}),
+    ]
+    return constraints, database
+
+
+def update_progression_violations() -> tuple[list[FunctionalDependency], Database]:
+    """Example 11: Σ = {A→B, B→C, D→A}; every single attribute update
+    *increases* the number of minimal violations."""
+    schema = Schema.from_dict({"R": ["A", "B", "C", "D", "E"]})
+    database = Database.from_rows(
+        schema,
+        "R",
+        [
+            (0, 0, 0, 0, 1),
+            (0, 0, 0, 0, 2),
+            (0, 1, 1, 0, 3),
+            (0, 1, 1, 0, 4),
+        ],
+    )
+    constraints = [
+        FunctionalDependency("R", {"A"}, {"B"}),
+        FunctionalDependency("R", {"B"}, {"C"}),
+        FunctionalDependency("R", {"D"}, {"A"}),
+    ]
+    return constraints, database
+
+
+# ----------------------------------------------------------------------
+# Positivity counterexample for I_MC under DCs (Section 4)
+# ----------------------------------------------------------------------
+def imc_positivity_dc() -> tuple[list[DenialConstraint], Database]:
+    """D = {R(a), R(b)}, Σ = {¬R(a)}: inconsistent but I_MC = 0."""
+    schema = Schema.from_dict({"R": ["A"]})
+    database = Database.from_rows(schema, "R", [("a",), ("b",)])
+    forbid_a = DenialConstraint(
+        [("t", "R")],
+        [Predicate(Term.col("t", "A"), ComparisonOp.EQ, Term.const("a"))],
+        name="¬R(a)",
+    )
+    return [forbid_a], database

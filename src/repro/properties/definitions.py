@@ -1,0 +1,93 @@
+"""The four rationality properties of Section 4.
+
+* **Positivity** — ``I(Σ, D) > 0`` whenever ``D ⊭ Σ``.
+* **Monotonicity** — ``I(Σ, D) ≤ I(Σ', D)`` whenever ``Σ' ⊨ Σ``.
+* **δ-continuity** — for all Σ, D1, D2 and operation o1 there is an
+  operation o2 with ``Δ(o2, D2) ≥ Δ(o1, D1) / δ`` (bounded continuity =
+  δ-continuity for some finite δ; the weighted variant divides by costs).
+* **Progression** — whenever ``D ⊭ Σ`` some operation strictly reduces I.
+
+Proposition 3 links them: progression ⇒ positivity, and positivity +
+bounded continuity ⇒ progression (when C is realizable by R).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Property(enum.Enum):
+    """The four properties, plus tractability as the practical fifth column."""
+
+    POSITIVITY = "positivity"
+    MONOTONICITY = "monotonicity"
+    BOUNDED_CONTINUITY = "bounded continuity"
+    PROGRESSION = "progression"
+    PTIME = "polynomial time"
+
+
+#: Table 2 of the paper for C = C_FD and R = R⊆ (True = satisfied).
+TABLE2_FD = {
+    "I_d": {
+        Property.POSITIVITY: True,
+        Property.MONOTONICITY: True,
+        Property.BOUNDED_CONTINUITY: False,
+        Property.PROGRESSION: False,
+        Property.PTIME: True,
+    },
+    "I_MI": {
+        Property.POSITIVITY: True,
+        Property.MONOTONICITY: True,
+        Property.BOUNDED_CONTINUITY: False,
+        Property.PROGRESSION: True,
+        Property.PTIME: True,
+    },
+    "I_P": {
+        Property.POSITIVITY: True,
+        Property.MONOTONICITY: True,
+        Property.BOUNDED_CONTINUITY: False,
+        Property.PROGRESSION: True,
+        Property.PTIME: True,
+    },
+    # Note: the arXiv rendering of Table 2 shows "✓/✓" under bounded
+    # continuity for I_MC, which contradicts the paper's own Proposition 4
+    # (I_MC satisfies positivity but not progression for FDs, hence by
+    # Proposition 3 it cannot satisfy bounded continuity).  We follow the
+    # propositions; see EXPERIMENTS.md.
+    "I_MC": {
+        Property.POSITIVITY: True,
+        Property.MONOTONICITY: False,
+        Property.BOUNDED_CONTINUITY: False,
+        Property.PROGRESSION: False,
+        Property.PTIME: False,
+    },
+    "I'_MC": {
+        Property.POSITIVITY: True,
+        Property.MONOTONICITY: False,
+        Property.BOUNDED_CONTINUITY: False,
+        Property.PROGRESSION: False,
+        Property.PTIME: False,
+    },
+    "I_R": {
+        Property.POSITIVITY: True,
+        Property.MONOTONICITY: True,
+        Property.BOUNDED_CONTINUITY: True,
+        Property.PROGRESSION: True,
+        Property.PTIME: False,
+    },
+    "I_lin_R": {
+        Property.POSITIVITY: True,
+        Property.MONOTONICITY: True,
+        Property.BOUNDED_CONTINUITY: True,
+        Property.PROGRESSION: True,
+        Property.PTIME: True,
+    },
+}
+
+#: Table 2 for C = C_DC (differences from the FD column only).
+TABLE2_DC = {
+    measure: dict(columns) for measure, columns in TABLE2_FD.items()
+}
+TABLE2_DC["I_MI"][Property.MONOTONICITY] = False
+TABLE2_DC["I_P"][Property.MONOTONICITY] = False
+TABLE2_DC["I_MC"][Property.POSITIVITY] = False

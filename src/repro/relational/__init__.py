@@ -1,0 +1,23 @@
+"""Relational substrate: schemas, facts, databases, CSV I/O."""
+
+from .csvio import dump_csv, load_csv, read_csv, write_csv
+from .database import Database, Fact
+from .schema import RelationSignature, Schema, SchemaError
+from .values import ActiveDomain, Value, active_domain, coerce_value, is_null
+
+__all__ = [
+    "ActiveDomain",
+    "Database",
+    "Fact",
+    "RelationSignature",
+    "Schema",
+    "SchemaError",
+    "Value",
+    "active_domain",
+    "coerce_value",
+    "dump_csv",
+    "is_null",
+    "load_csv",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,279 @@
+"""Databases as mappings from record identifiers to facts.
+
+The paper (Section 2) defines a database ``D`` over a schema ``S`` as a
+mapping from a finite set ``ids(D)`` of record identifiers to facts.  The
+identifier indirection matters: two identifiers may map to *equal* facts
+(duplicates), and the subset relation compares ``D[i]`` per identifier.
+Repair operations (deletion, insertion, attribute update) are defined on
+identifiers, not on fact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from .schema import RelationSignature, Schema, SchemaError
+from .values import ActiveDomain, Value
+
+
+@dataclass(frozen=True)
+class Fact:
+    """An expression ``R(c1, ..., ck)`` over the schema.
+
+    Facts are immutable and hashable so they can appear in sets (minimal
+    inconsistent subsets, repairs) directly.
+    """
+
+    relation: str
+    values: tuple[Value, ...]
+
+    def __getitem__(self, index: int) -> Value:
+        return self.values[index]
+
+    @property
+    def arity(self) -> int:
+        """Number of values carried by this fact."""
+        return len(self.values)
+
+    def get(self, signature: RelationSignature, attribute: str) -> Value:
+        """Value of *attribute* according to *signature* (``f.A`` notation)."""
+        return self.values[signature.index_of(attribute)]
+
+    def with_value(
+        self, signature: RelationSignature, attribute: str, value: Value
+    ) -> "Fact":
+        """A copy of this fact with *attribute* set to *value*."""
+        index = signature.index_of(attribute)
+        values = list(self.values)
+        values[index] = value
+        return Fact(self.relation, tuple(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(repr(value) for value in self.values)
+        return f"{self.relation}({inner})"
+
+
+class Database:
+    """A finite map ``ids(D) -> facts`` over a fixed schema.
+
+    Mutations (used by repair operations and noise generators) keep a running
+    per-column active-domain index so the noise models and the cleaner can
+    sample values without rescanning the data.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._facts: dict[int, Fact] = {}
+        self._next_id = 0
+        self._domains: dict[tuple[str, str], ActiveDomain] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_facts(cls, schema: Schema, facts: Iterable[Fact]) -> "Database":
+        """Build a database assigning fresh consecutive identifiers."""
+        database = cls(schema)
+        for fact in facts:
+            database.insert(fact)
+        return database
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, relation: str, rows: Iterable[Sequence[Value]]
+    ) -> "Database":
+        """Build a single-relation database from raw value rows."""
+        signature = schema.signature(relation)
+        database = cls(schema)
+        for row in rows:
+            if len(row) != signature.arity:
+                raise SchemaError(
+                    f"row of width {len(row)} does not match arity "
+                    f"{signature.arity} of {relation!r}"
+                )
+            database.insert(Fact(relation, tuple(row)))
+        return database
+
+    # ------------------------------------------------------------------
+    # Core mapping protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, identifier: int) -> bool:
+        return identifier in self._facts
+
+    def __getitem__(self, identifier: int) -> Fact:
+        """``D[i]`` — the fact mapped to identifier *i*."""
+        return self._facts[identifier]
+
+    def ids(self) -> list[int]:
+        """``ids(D)`` in ascending order (deterministic iteration)."""
+        return sorted(self._facts)
+
+    def items(self) -> Iterator[tuple[int, Fact]]:
+        """(identifier, fact) pairs in ascending identifier order."""
+        for identifier in self.ids():
+            yield identifier, self._facts[identifier]
+
+    def facts(self) -> list[Fact]:
+        """All facts in ascending identifier order."""
+        return [self._facts[identifier] for identifier in self.ids()]
+
+    def relation_ids(self, relation: str) -> list[int]:
+        """Identifiers of facts belonging to *relation*."""
+        return [
+            identifier
+            for identifier in self.ids()
+            if self._facts[identifier].relation == relation
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutations (repairing operations use these primitives)
+    # ------------------------------------------------------------------
+    def insert(self, fact: Fact) -> int:
+        """Insert *fact* under the minimal free identifier; return it.
+
+        Mirrors the paper's tuple-insertion convention: the new identifier is
+        the minimal integer not in ``ids(D)``.
+        """
+        signature = self.schema.signature(fact.relation)
+        if fact.arity != signature.arity:
+            raise SchemaError(
+                f"fact arity {fact.arity} does not match signature arity "
+                f"{signature.arity} of {fact.relation!r}"
+            )
+        identifier = self._allocate_id()
+        self._facts[identifier] = fact
+        self._index_fact(fact, +1)
+        return identifier
+
+    def delete(self, identifier: int) -> bool:
+        """Delete the fact with *identifier*; return False if absent.
+
+        Per the paper's convention, an inapplicable operation leaves the
+        database intact (hence the boolean rather than an exception).
+        """
+        fact = self._facts.pop(identifier, None)
+        if fact is None:
+            return False
+        self._index_fact(fact, -1)
+        if identifier < self._next_id:
+            self._next_id = min(self._next_id, identifier)
+        return True
+
+    def update(self, identifier: int, attribute: str, value: Value) -> bool:
+        """Set ``D[i].A = value``; return False when inapplicable."""
+        fact = self._facts.get(identifier)
+        if fact is None:
+            return False
+        signature = self.schema.signature(fact.relation)
+        if not signature.has_attribute(attribute):
+            return False
+        old_value = fact.get(signature, attribute)
+        if old_value == value:
+            return True
+        self._domain_for(fact.relation, attribute).discard(old_value)
+        new_fact = fact.with_value(signature, attribute, value)
+        self._facts[identifier] = new_fact
+        self._domain_for(fact.relation, attribute).add(value)
+        return True
+
+    def get_cell(self, identifier: int, attribute: str) -> Value:
+        """Value of ``D[i].A``."""
+        fact = self._facts[identifier]
+        signature = self.schema.signature(fact.relation)
+        return fact.get(signature, attribute)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def subset(self, identifiers: Iterable[int]) -> "Database":
+        """The sub-database induced by *identifiers* (same ids, same facts)."""
+        wanted = set(identifiers)
+        missing = wanted - set(self._facts)
+        if missing:
+            raise KeyError(f"identifiers not in database: {sorted(missing)}")
+        result = Database(self.schema)
+        for identifier in sorted(wanted):
+            fact = self._facts[identifier]
+            result._facts[identifier] = fact
+            result._index_fact(fact, +1)
+        result._next_id = 0
+        return result
+
+    def without(self, identifiers: Iterable[int]) -> "Database":
+        """The sub-database obtained by removing *identifiers*."""
+        removed = set(identifiers)
+        return self.subset(set(self._facts) - removed)
+
+    def copy(self) -> "Database":
+        """An independent deep-enough copy (facts are immutable)."""
+        result = Database(self.schema)
+        result._facts = dict(self._facts)
+        result._next_id = self._next_id
+        for (relation, attribute), domain in self._domains.items():
+            clone = ActiveDomain()
+            for value in domain:
+                for _ in range(domain.frequency(value)):
+                    clone.add(value)
+            result._domains[(relation, attribute)] = clone
+        return result
+
+    def is_subset_of(self, other: "Database") -> bool:
+        """``D ⊆ D'`` as defined in the paper (id-wise fact equality)."""
+        for identifier, fact in self._facts.items():
+            if identifier not in other or other[identifier] != fact:
+                return False
+        return True
+
+    def active_domain(self, relation: str, attribute: str) -> ActiveDomain:
+        """Active domain of one column (live view, kept up to date)."""
+        self.schema.signature(relation).index_of(attribute)
+        return self._domain_for(relation, attribute)
+
+    def column(self, relation: str, attribute: str) -> list[Value]:
+        """All values of one column, in identifier order."""
+        signature = self.schema.signature(relation)
+        index = signature.index_of(attribute)
+        return [
+            fact.values[index]
+            for _, fact in self.items()
+            if fact.relation == relation
+        ]
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({len(self._facts)} facts over {self.schema.relation_names()})"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _allocate_id(self) -> int:
+        identifier = self._next_id
+        while identifier in self._facts:
+            identifier += 1
+        self._next_id = identifier + 1
+        return identifier
+
+    def _domain_for(self, relation: str, attribute: str) -> ActiveDomain:
+        key = (relation, attribute)
+        domain = self._domains.get(key)
+        if domain is None:
+            domain = ActiveDomain()
+            self._domains[key] = domain
+        return domain
+
+    def _index_fact(self, fact: Fact, sign: int) -> None:
+        signature = self.schema.signature(fact.relation)
+        for attribute, value in zip(signature.attributes, fact.values):
+            domain = self._domain_for(fact.relation, attribute)
+            if sign > 0:
+                domain.add(value)
+            else:
+                domain.discard(value)

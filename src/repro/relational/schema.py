@@ -1,0 +1,98 @@
+"""Relational schemas: relation signatures and attribute bookkeeping.
+
+Follows Section 2 of the paper: a schema ``S`` has a finite set of relation
+symbols ``R``, each with a signature ``sig(R)`` — a sequence of distinct
+attributes.  Facts are expressions ``R(c1, ..., ck)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised on malformed schema definitions or attribute lookups."""
+
+
+@dataclass(frozen=True)
+class RelationSignature:
+    """Signature of one relation symbol: its name and attribute sequence."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"duplicate attributes in signature of {self.name!r}: "
+                f"{self.attributes}"
+            )
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} must have arity >= 1")
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of *attribute*, raising :class:`SchemaError` if absent."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {list(self.attributes)}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        """True when *attribute* is part of this signature."""
+        return attribute in self.attributes
+
+
+@dataclass
+class Schema:
+    """A finite collection of relation signatures keyed by name."""
+
+    relations: dict[str, RelationSignature] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Sequence[str]]) -> "Schema":
+        """Build a schema from ``{relation_name: [attr, ...]}``."""
+        schema = cls()
+        for name, attributes in spec.items():
+            schema.add_relation(name, attributes)
+        return schema
+
+    def add_relation(self, name: str, attributes: Sequence[str]) -> RelationSignature:
+        """Register a new relation symbol; duplicates are rejected."""
+        if name in self.relations:
+            raise SchemaError(f"relation {name!r} already defined")
+        signature = RelationSignature(name, tuple(attributes))
+        self.relations[name] = signature
+        return signature
+
+    def signature(self, name: str) -> RelationSignature:
+        """Look up a relation signature by name."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; known: {sorted(self.relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSignature]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def relation_names(self) -> list[str]:
+        """Names of all relation symbols, in insertion order."""
+        return list(self.relations)

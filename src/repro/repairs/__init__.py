@@ -1,0 +1,86 @@
+"""Repair systems, operations, costs, and minimum-repair computation."""
+
+from .costs import (
+    COST_ATTRIBUTE,
+    CostFunction,
+    deletion_costs,
+    subset_cost,
+    table_cost,
+    unit_cost,
+)
+from .egd_dichotomy import EgdClassification, classify_single_egd, ir_single_egd
+from .minimum_repair import (
+    SubsetRepair,
+    greedy_subset_repair,
+    integrality_gap_bound,
+    minimum_subset_repair,
+    repair_lp_relaxation,
+)
+from .operations import (
+    DeleteOperation,
+    InsertOperation,
+    Operation,
+    UpdateOperation,
+    apply_sequence,
+)
+from .referential import (
+    ReferentialRepair,
+    minimum_referential_repair,
+    referential_ir,
+)
+from .soft import HARD, SoftRepair, minimum_soft_repair, soft_repair_measure_value
+from .system import (
+    RepairSystem,
+    insertion_deletion_system,
+    realizes,
+    subset_system,
+    update_system,
+)
+from .tradeoff import (
+    ResolutionTrace,
+    ScoredOperation,
+    information_loss,
+    score_operations,
+    stepwise_resolve,
+)
+from .update_repair import UpdateRepair, UpdateRepairTooLarge, minimum_update_repair
+
+__all__ = [
+    "COST_ATTRIBUTE",
+    "CostFunction",
+    "DeleteOperation",
+    "EgdClassification",
+    "InsertOperation",
+    "Operation",
+    "RepairSystem",
+    "SubsetRepair",
+    "UpdateOperation",
+    "UpdateRepair",
+    "UpdateRepairTooLarge",
+    "apply_sequence",
+    "classify_single_egd",
+    "deletion_costs",
+    "greedy_subset_repair",
+    "HARD",
+    "SoftRepair",
+    "minimum_soft_repair",
+    "ReferentialRepair",
+    "minimum_referential_repair",
+    "referential_ir",
+    "soft_repair_measure_value",
+    "insertion_deletion_system",
+    "integrality_gap_bound",
+    "ir_single_egd",
+    "minimum_subset_repair",
+    "minimum_update_repair",
+    "realizes",
+    "ResolutionTrace",
+    "ScoredOperation",
+    "information_loss",
+    "score_operations",
+    "stepwise_resolve",
+    "subset_cost",
+    "subset_system",
+    "table_cost",
+    "unit_cost",
+]

@@ -1,0 +1,365 @@
+"""The dichotomy of Theorem 1: ``I_R`` for a single EGD with two binary atoms.
+
+Theorem 1: for ``R = R⊆`` and ``Σ = {σ}`` with σ an EGD over two binary
+atoms, computing ``I_R(Σ, D)`` is NP-hard exactly when σ has the *path
+shape*::
+
+    ∀x1, x2, x3  [ R(x1, x2), R(x2, x3)  →  xi = xj ]
+
+and polynomial-time in every other case.  This module implements
+
+* :func:`classify_single_egd` — the shape classifier;
+* :func:`ir_single_egd` — the polynomial algorithms of Lemmas 2–4 for the
+  tractable shapes (falling back to the generic exact hitting-set solver for
+  degenerate shapes with repeated variables inside an atom, which the lemmas
+  treat implicitly via participation filtering).
+
+The algorithms work with arbitrary per-fact deletion weights, as required by
+the MaxCut reduction which assigns cost ``m + 1`` to anchor facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..constraints.egd import EqualityGeneratingDependency
+from ..relational.database import Database
+from .costs import CostFunction, deletion_costs, subset_cost
+
+
+@dataclass(frozen=True)
+class EgdClassification:
+    """Outcome of the Theorem 1 shape analysis."""
+
+    hard: bool
+    case: str
+
+    @property
+    def tractable(self) -> bool:
+        return not self.hard
+
+
+def classify_single_egd(egd: EqualityGeneratingDependency) -> EgdClassification:
+    """Classify a two-binary-atom EGD per Theorem 1."""
+    if not egd.has_two_binary_atoms():
+        raise ValueError(
+            "the Theorem 1 dichotomy covers EGDs with exactly two binary atoms"
+        )
+    if egd.is_hard_path_shape():
+        return EgdClassification(hard=True, case="path R(x1,x2),R(x2,x3)")
+    first, second = egd.atoms
+    if first.relation != second.relation:
+        return EgdClassification(hard=False, case="two relations (Lemma 2)")
+    shared = set(first.variables) & set(second.variables)
+    if not shared:
+        return EgdClassification(hard=False, case="disjoint atoms (Lemma 3)")
+    if first.variables == second.variables:
+        return EgdClassification(hard=False, case="identical atoms (Lemma 4.1)")
+    if (
+        first.variables == tuple(reversed(second.variables))
+        and len(set(first.variables)) == 2
+    ):
+        return EgdClassification(hard=False, case="swapped atoms (Lemma 4.3)")
+    return EgdClassification(hard=False, case="same-position sharing (Lemma 4.2)")
+
+
+def ir_single_egd(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    cost_function: CostFunction | None = None,
+) -> float:
+    """``I_R({σ}, D)`` for a tractable two-binary-atom EGD, in PTime.
+
+    Raises ``ValueError`` for the NP-hard path shape — callers should use the
+    generic (exponential) solver in that case.
+    """
+    classification = classify_single_egd(egd)
+    if classification.hard:
+        raise ValueError(
+            "σ has the NP-hard path shape; use minimum_subset_repair instead"
+        )
+    weights = deletion_costs(database, cost_function or subset_cost)
+    first, second = egd.atoms
+    if first.relation != second.relation:
+        return _ir_two_relations(egd, database, weights)
+    if _has_repeated_variable(egd):
+        return _ir_generic(egd, database, cost_function)
+    shared = set(first.variables) & set(second.variables)
+    if not shared:
+        return _ir_disjoint_atoms(egd, database, weights)
+    if first.variables == second.variables:
+        return _ir_identical_atoms(egd, database, weights)
+    if first.variables == tuple(reversed(second.variables)):
+        return _ir_swapped_atoms(egd, database, weights)
+    return _ir_same_position(egd, database, weights)
+
+
+# ----------------------------------------------------------------------
+# Lemma 2: two different relations
+# ----------------------------------------------------------------------
+def _ir_two_relations(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    weights: Mapping[int, float],
+) -> float:
+    first, second = egd.atoms
+    r_facts = _participating(database, first)
+    s_facts = _participating(database, second)
+    shared = sorted(set(first.variables) & set(second.variables))
+
+    def block_key(atom, values):
+        return tuple(
+            values[atom.variables.index(var)] for var in shared if var in atom.variables
+        )
+
+    blocks: dict[tuple, tuple[list[int], list[int]]] = {}
+    for identifier, values in r_facts:
+        blocks.setdefault(block_key(first, values), ([], []))[0].append(identifier)
+    for identifier, values in s_facts:
+        blocks.setdefault(block_key(second, values), ([], []))[1].append(identifier)
+
+    total = 0.0
+    for key, (r_ids, s_ids) in blocks.items():
+        if not r_ids or not s_ids:
+            continue  # no cross-atom witness in this block
+        total += _block_cost(egd, database, weights, key, shared, r_ids, s_ids)
+    return total
+
+
+def _block_cost(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    weights: Mapping[int, float],
+    key: tuple,
+    shared: list[str],
+    r_ids: list[int],
+    s_ids: list[int],
+) -> float:
+    first, second = egd.atoms
+    shared_value = dict(zip(shared, key))
+
+    def value_of(identifier: int, atom, variable: str):
+        values = database[identifier].values
+        return values[atom.variables.index(variable)]
+
+    cl, cr = egd.left_var, egd.right_var
+    cl_in_r = cl in first.variables
+    cl_in_s = cl in second.variables
+    cr_in_r = cr in first.variables
+    cr_in_s = cr in second.variables
+    weight = lambda ids: sum(weights[i] for i in ids)
+
+    # Both conclusion variables pinned by the block key.
+    if cl in shared_value and cr in shared_value:
+        if shared_value[cl] == shared_value[cr]:
+            return 0.0
+        return min(weight(r_ids), weight(s_ids))
+
+    # One side pinned, the other read off one relation.
+    if cl in shared_value or cr in shared_value:
+        pinned_var, free_var = (cl, cr) if cl in shared_value else (cr, cl)
+        pinned = shared_value[pinned_var]
+        if free_var in first.variables and free_var not in shared_value:
+            bad = [i for i in r_ids if value_of(i, first, free_var) != pinned]
+            return min(weight(bad), weight(s_ids))
+        bad = [i for i in s_ids if value_of(i, second, free_var) != pinned]
+        return min(weight(bad), weight(r_ids))
+
+    # Both conclusion variables on the same atom.
+    if cl_in_r and cr_in_r and not (cl_in_s or cr_in_s):
+        bad = [
+            i
+            for i in r_ids
+            if value_of(i, first, cl) != value_of(i, first, cr)
+        ]
+        return min(weight(bad), weight(s_ids))
+    if cl_in_s and cr_in_s and not (cl_in_r or cr_in_r):
+        bad = [
+            i
+            for i in s_ids
+            if value_of(i, second, cl) != value_of(i, second, cr)
+        ]
+        return min(weight(bad), weight(r_ids))
+
+    # Conclusion crosses the atoms: align both sides on a common value.
+    r_var = cl if cl_in_r else cr
+    s_var = cr if cl_in_r else cl
+    candidates = {value_of(i, first, r_var) for i in r_ids} | {
+        value_of(i, second, s_var) for i in s_ids
+    }
+    best = min(weight(r_ids), weight(s_ids))  # delete one whole side
+    for value in candidates:
+        cost = weight(
+            [i for i in r_ids if value_of(i, first, r_var) != value]
+        ) + weight([i for i in s_ids if value_of(i, second, s_var) != value])
+        best = min(best, cost)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Lemma 3: same relation, variable-disjoint atoms
+# ----------------------------------------------------------------------
+def _ir_disjoint_atoms(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    weights: Mapping[int, float],
+) -> float:
+    first, second = egd.atoms
+    facts = _relation_pairs(database, first.relation)
+    cl, cr = egd.left_var, egd.right_var
+    weight = lambda ids: sum(weights[i] for i in ids)
+
+    within = None
+    if {cl, cr} <= set(first.variables):
+        within = first
+    elif {cl, cr} <= set(second.variables):
+        within = second
+    if within is not None:
+        # Any fact binding the other atom exists whenever D is non-empty, so
+        # every fact disagreeing on the conclusion positions must go.
+        bad = [
+            identifier
+            for identifier, (a, b) in facts
+            if _pos_value((a, b), within, cl) != _pos_value((a, b), within, cr)
+        ]
+        return weight(bad)
+
+    # Conclusion crosses atoms: positions (p, q) with p on atom1, q on atom2.
+    p = first.variables.index(cl if cl in first.variables else cr)
+    q = second.variables.index(cr if cr in second.variables else cl)
+    if p == q:
+        # Same column on both sides: all facts must agree on that column.
+        groups: dict[object, float] = {}
+        total = 0.0
+        for identifier, values in facts:
+            groups[values[p]] = groups.get(values[p], 0.0) + weights[identifier]
+            total += weights[identifier]
+        return total - max(groups.values(), default=0.0)
+    # Mixed columns (f1.B = f2.A for all pairs incl. f1 = f2): only copies of
+    # a single diagonal value R(a, a) may stay.
+    diagonal: dict[object, float] = {}
+    total = 0.0
+    for identifier, (a, b) in facts:
+        total += weights[identifier]
+        if a == b:
+            diagonal[a] = diagonal.get(a, 0.0) + weights[identifier]
+    return total - max(diagonal.values(), default=0.0)
+
+
+# ----------------------------------------------------------------------
+# Lemma 4: same relation, shared variables
+# ----------------------------------------------------------------------
+def _ir_identical_atoms(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    weights: Mapping[int, float],
+) -> float:
+    """``R(x,y), R(x,y) → x = y``: every off-diagonal fact self-violates."""
+    facts = _relation_pairs(database, egd.atoms[0].relation)
+    return sum(weights[i] for i, (a, b) in facts if a != b)
+
+
+def _ir_swapped_atoms(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    weights: Mapping[int, float],
+) -> float:
+    """``R(x,y), R(y,x) → x = y``: delete the cheaper of R(a,b) / R(b,a)."""
+    facts = _relation_pairs(database, egd.atoms[0].relation)
+    group_weight: dict[tuple, float] = {}
+    for identifier, (a, b) in facts:
+        if a == b:
+            continue
+        group_weight[(a, b)] = group_weight.get((a, b), 0.0) + weights[identifier]
+    total = 0.0
+    for (a, b), weight_ab in group_weight.items():
+        if (b, a) in group_weight and repr(a) < repr(b):
+            total += min(weight_ab, group_weight[(b, a)])
+    return total
+
+
+def _ir_same_position(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    weights: Mapping[int, float],
+) -> float:
+    """Shared variable in the same position of both atoms (Lemma 4.2).
+
+    First-position sharing ``R(x,y), R(x,z)`` gives, by conclusion:
+    ``y = z`` — the FD A→B (keep the heaviest B-class per A-group);
+    ``x = y`` or ``x = z`` — only diagonal facts survive.
+    Second-position sharing is the column-flipped mirror.
+    """
+    first, second = egd.atoms
+    facts = _relation_pairs(database, first.relation)
+    shared = (set(first.variables) & set(second.variables)).pop()
+    flip = first.variables.index(shared) == 1
+    if flip:
+        facts = [(identifier, (b, a)) for identifier, (a, b) in facts]
+        first_vars = tuple(reversed(first.variables))
+        second_vars = tuple(reversed(second.variables))
+    else:
+        first_vars = first.variables
+        second_vars = second.variables
+
+    cl, cr = egd.left_var, egd.right_var
+    free_first = first_vars[1]
+    free_second = second_vars[1]
+    if {cl, cr} == {free_first, free_second}:
+        # The FD key-repair: group by the shared (first) column.
+        groups: dict[object, dict[object, float]] = {}
+        total = 0.0
+        for identifier, (a, b) in facts:
+            groups.setdefault(a, {})
+            groups[a][b] = groups[a].get(b, 0.0) + weights[identifier]
+            total += weights[identifier]
+        kept = sum(max(classes.values()) for classes in groups.values())
+        return total - kept
+    # Conclusion involves the shared variable: only diagonal facts survive.
+    return sum(weights[i] for i, (a, b) in facts if a != b)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _ir_generic(
+    egd: EqualityGeneratingDependency,
+    database: Database,
+    cost_function: CostFunction | None,
+) -> float:
+    from .minimum_repair import minimum_subset_repair
+
+    return minimum_subset_repair([egd], database, cost_function).cost
+
+
+def _has_repeated_variable(egd: EqualityGeneratingDependency) -> bool:
+    return any(len(set(atom.variables)) < atom.arity for atom in egd.atoms)
+
+
+def _participating(database: Database, atom):
+    """(id, values) pairs of facts that can bind *atom* (repeated-var filter)."""
+    result = []
+    repeated = atom.variables[0] == atom.variables[1]
+    for identifier in database.relation_ids(atom.relation):
+        values = database[identifier].values
+        if len(values) != 2:
+            raise ValueError(
+                f"relation {atom.relation!r} is not binary; the dichotomy "
+                "algorithms require binary relations"
+            )
+        if repeated and values[0] != values[1]:
+            continue
+        result.append((identifier, values))
+    return result
+
+
+def _relation_pairs(database: Database, relation: str):
+    return [
+        (identifier, (database[identifier].values[0], database[identifier].values[1]))
+        for identifier in database.relation_ids(relation)
+    ]
+
+
+def _pos_value(values: tuple, atom, variable: str):
+    return values[atom.variables.index(variable)]

@@ -1,0 +1,132 @@
+"""Minimum (subset) repairs — the optimization behind ``I_R`` for deletions.
+
+For anti-monotonic constraints and the subset system, the minimum repair is
+the minimum-weight set of facts hitting every minimal inconsistent subset
+(the ILP of Figure 2).  This module exposes both the optimal value and the
+actual repair, and the corresponding LP relaxation used by ``I_lin_R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..solvers.halfintegral import vertex_cover_lp
+from ..solvers.simplex import LpProblem, Sense, solve_lp
+from ..solvers.vertex_cover import greedy_hitting_set, minimum_hitting_set
+from ..violations.minimal import ViolationIndex, build_violation_index
+from .costs import CostFunction, deletion_costs, subset_cost
+from .operations import DeleteOperation
+
+
+@dataclass
+class SubsetRepair:
+    """An optimal deletion repair: which facts to drop and at what cost."""
+
+    deleted_ids: set[int]
+    cost: float
+
+    def operations(self) -> list[DeleteOperation]:
+        return [DeleteOperation(identifier) for identifier in sorted(self.deleted_ids)]
+
+
+def minimum_subset_repair(
+    constraints: Sequence[Constraint],
+    database: Database,
+    cost_function: CostFunction | None = None,
+    index: ViolationIndex | None = None,
+    max_nodes: int = 500_000,
+) -> SubsetRepair:
+    """Exact minimum-cost deletion repair (value of ``I_R`` under R⊆)."""
+    if index is None:
+        index = build_violation_index(constraints, database)
+    if index.is_consistent():
+        return SubsetRepair(set(), 0.0)
+    weights = deletion_costs(database, cost_function or subset_cost)
+    value, cover = minimum_hitting_set(
+        list(index.mi_sets), weights, max_nodes=max_nodes
+    )
+    return SubsetRepair(set(cover), value)
+
+
+def greedy_subset_repair(
+    constraints: Sequence[Constraint],
+    database: Database,
+    cost_function: CostFunction | None = None,
+    index: ViolationIndex | None = None,
+) -> SubsetRepair:
+    """Greedy (non-optimal) repair — an upper bound and a fast baseline."""
+    if index is None:
+        index = build_violation_index(constraints, database)
+    weights = deletion_costs(database, cost_function or subset_cost)
+    cover = greedy_hitting_set(list(index.mi_sets), weights)
+    cost = sum(weights[identifier] for identifier in cover)
+    return SubsetRepair(set(cover), cost)
+
+
+def repair_lp_relaxation(
+    constraints: Sequence[Constraint],
+    database: Database,
+    cost_function: CostFunction | None = None,
+    index: ViolationIndex | None = None,
+) -> tuple[float, dict[int, float]]:
+    """The LP relaxation of the repair ILP — the value of ``I_lin_R``.
+
+    Uses the exact half-integral (max-flow) path when every MI set has at
+    most two facts, and the generic simplex otherwise.  Returns the optimal
+    objective and the per-fact fractional assignment.
+    """
+    if index is None:
+        index = build_violation_index(constraints, database)
+    if index.is_consistent():
+        return 0.0, {identifier: 0.0 for identifier in database.ids()}
+    weights = deletion_costs(database, cost_function or subset_cost)
+
+    if index.max_width <= 2:
+        pairs = []
+        loops = []
+        vertices = set()
+        for group in index.mi_sets:
+            vertices |= group
+            if len(group) == 1:
+                loops.append(next(iter(group)))
+            else:
+                u, v = sorted(group)
+                pairs.append((u, v))
+        value, assignment = vertex_cover_lp(
+            sorted(vertices), pairs, weights, self_loops=loops
+        )
+        x = {identifier: 0.0 for identifier in database.ids()}
+        for vertex, fraction in assignment.items():
+            x[vertex] = float(fraction)
+        return value, x
+
+    # Hypergraph: generic covering LP through the simplex solver.
+    involved = sorted(index.problematic)
+    position = {identifier: i for i, identifier in enumerate(involved)}
+    problem = LpProblem(
+        num_vars=len(involved),
+        objective={position[i]: weights[i] for i in involved},
+    )
+    for group in index.mi_sets:
+        problem.add_row({position[i]: 1.0 for i in group}, Sense.GE, 1.0)
+    solution = solve_lp(problem)
+    if not solution.is_optimal:  # pragma: no cover - covering LPs are feasible
+        raise RuntimeError(f"covering LP not optimal: {solution.status}")
+    x = {identifier: 0.0 for identifier in database.ids()}
+    for identifier, index_ in position.items():
+        x[identifier] = float(solution.values[index_])
+    return float(solution.objective), x
+
+
+def integrality_gap_bound(index: ViolationIndex) -> int:
+    """Upper bound on the LP integrality gap: the maximal MI-set width.
+
+    For FDs this is 2, giving the paper's guarantee that
+    ``I_lin_R(Σ, D1) ≥ 2 · I_lin_R(Σ, D2)`` implies
+    ``I_R(Σ, D1) ≥ I_R(Σ, D2)``.
+    """
+    return max(index.max_width, 1)

@@ -1,0 +1,102 @@
+"""Repairing operations: tuple deletion, tuple insertion, attribute update.
+
+An operation ``o`` maps databases to databases (Section 2).  Inapplicable
+operations leave the database intact, per the paper's convention.  Operations
+are applied *functionally* (the input database is copied), so measure code
+can explore operation effects without mutating the caller's data; an
+``apply_in_place`` escape hatch exists for the noise generators, which churn
+through thousands of operations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..relational.database import Database, Fact
+from ..relational.values import Value
+
+
+class Operation(ABC):
+    """A repairing operation ``o : DB(S) -> DB(S)``."""
+
+    @abstractmethod
+    def apply_in_place(self, database: Database) -> bool:
+        """Mutate *database*; return True when a change actually occurred."""
+
+    def apply(self, database: Database) -> Database:
+        """``o(D)`` — functional application on a copy."""
+        result = database.copy()
+        self.apply_in_place(result)
+        return result
+
+    @abstractmethod
+    def is_applicable(self, database: Database) -> bool:
+        """Whether the operation would change *database*."""
+
+
+@dataclass(frozen=True)
+class DeleteOperation(Operation):
+    """``⟨-i⟩`` — delete the fact with identifier *i*."""
+
+    identifier: int
+
+    def apply_in_place(self, database: Database) -> bool:
+        return database.delete(self.identifier)
+
+    def is_applicable(self, database: Database) -> bool:
+        return self.identifier in database
+
+    def __str__(self) -> str:
+        return f"<-{self.identifier}>"
+
+
+@dataclass(frozen=True)
+class InsertOperation(Operation):
+    """``⟨+f⟩`` — insert fact *f* under the minimal free identifier."""
+
+    fact: Fact
+
+    def apply_in_place(self, database: Database) -> bool:
+        database.insert(self.fact)
+        return True
+
+    def is_applicable(self, database: Database) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"<+{self.fact!r}>"
+
+
+@dataclass(frozen=True)
+class UpdateOperation(Operation):
+    """``⟨i.A ← c⟩`` — set attribute *A* of fact *i* to value *c*."""
+
+    identifier: int
+    attribute: str
+    value: Value
+
+    def apply_in_place(self, database: Database) -> bool:
+        if not self.is_applicable(database):
+            return False
+        return database.update(self.identifier, self.attribute, self.value)
+
+    def is_applicable(self, database: Database) -> bool:
+        if self.identifier not in database:
+            return False
+        fact = database[self.identifier]
+        signature = database.schema.signature(fact.relation)
+        if not signature.has_attribute(self.attribute):
+            return False
+        return fact.get(signature, self.attribute) != self.value
+
+    def __str__(self) -> str:
+        return f"<{self.identifier}.{self.attribute} <- {self.value!r}>"
+
+
+def apply_sequence(database: Database, operations: list[Operation]) -> Database:
+    """Apply a sequence of operations functionally (``R*`` application)."""
+    result = database.copy()
+    for operation in operations:
+        operation.apply_in_place(result)
+    return result

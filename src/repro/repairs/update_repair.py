@@ -1,0 +1,144 @@
+"""Optimal update repairs — ``I_R`` when operations are attribute updates.
+
+Computing the minimum number of cell updates that restores consistency is
+NP-hard already for simple FD sets [Livshits, Kimelfeld, Roy 2020], and the
+paper's §5.3 shows even *defining* tractable relaxations is open.  This
+module implements an **exact exponential** solver adequate for the paper's
+running example (Table 1 reports ``I_R(updates)`` on 5-fact databases) and
+for tests:
+
+* iterative deepening on the number of updates;
+* at each step, some currently-violated witness must lose at least one of
+  its cells *on an attribute the violated constraint reads* — a complete
+  branching rule;
+* candidate values per cell: the column's active domain in the original
+  database plus one fresh sentinel (fresh values are interchangeable for
+  denial constraints, whose predicates only compare).
+
+The cost model is unit per update, matching Example 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..relational.database import Database
+from ..relational.values import Value
+from ..violations.minimal import find_first_violation, lower_constraints
+from .operations import UpdateOperation
+
+
+@dataclass
+class UpdateRepair:
+    """An optimal update repair."""
+
+    operations: list[UpdateOperation]
+    cost: float
+
+
+class UpdateRepairTooLarge(RuntimeError):
+    """Raised when no repair exists within the requested bound."""
+
+
+def minimum_update_repair(
+    constraints: Sequence[Constraint],
+    database: Database,
+    max_updates: int = 12,
+    allow_fresh: bool = True,
+    updatable_attributes: set[str] | None = None,
+) -> UpdateRepair:
+    """Exact minimum-size update repair via iterative-deepening search.
+
+    *allow_fresh* controls whether updates may introduce values outside the
+    column's active domain (the paper's formal model ranges over a countably
+    infinite domain, so fresh values are allowed there).
+
+    *updatable_attributes*, when given, restricts updates to those columns.
+    The paper's Table 1 values (4 for D1, 3 for D2) correspond to updates on
+    {Continent, Country} only; the unrestricted optimum is strictly smaller
+    because re-tagging a Municipality value moves a fact out of its FD group
+    — see EXPERIMENTS.md for the exhibited repairs.
+    """
+    dcs = lower_constraints(constraints, database.schema)
+    if find_first_violation(dcs, database) is None:
+        return UpdateRepair([], 0.0)
+
+    candidates = _candidate_values(database, allow_fresh, updatable_attributes)
+    for budget in range(1, max_updates + 1):
+        trail: list[UpdateOperation] = []
+        working = database.copy()
+        if _search(dcs, working, candidates, budget, set(), trail):
+            return UpdateRepair(list(trail), float(len(trail)))
+    raise UpdateRepairTooLarge(
+        f"no update repair with at most {max_updates} updates"
+    )
+
+
+def _search(
+    dcs,
+    database: Database,
+    candidates: dict[tuple[int, str], list[Value]],
+    budget: int,
+    touched: set[tuple[int, str]],
+    trail: list[UpdateOperation],
+) -> bool:
+    violation = find_first_violation(dcs, database)
+    if violation is None:
+        return True
+    if budget == 0:
+        return False
+    dc = violation.constraint
+    relevant_attributes = {
+        attribute for _, attribute in dc.attributes_involved()
+    }
+    for identifier in sorted(violation.fact_ids):
+        fact = database[identifier]
+        signature = database.schema.signature(fact.relation)
+        for attribute in signature.attributes:
+            if attribute not in relevant_attributes:
+                continue
+            cell = (identifier, attribute)
+            if cell not in candidates:
+                continue
+            if cell in touched:
+                # Re-writing a cell already set on this path is never needed
+                # in a minimum repair (the final write could have been first).
+                continue
+            current = fact.get(signature, attribute)
+            for value in candidates.get(cell, []):
+                if value == current:
+                    continue
+                database.update(identifier, attribute, value)
+                trail.append(UpdateOperation(identifier, attribute, value))
+                touched.add(cell)
+                if _search(dcs, database, candidates, budget - 1, touched, trail):
+                    return True
+                touched.discard(cell)
+                trail.pop()
+                database.update(identifier, attribute, current)
+    return False
+
+
+def _candidate_values(
+    database: Database,
+    allow_fresh: bool,
+    updatable_attributes: set[str] | None,
+) -> dict[tuple[int, str], list[Value]]:
+    """Active domain of the column (plus one fresh sentinel), per cell."""
+    candidates: dict[tuple[int, str], list[Value]] = {}
+    for identifier, fact in database.items():
+        signature = database.schema.signature(fact.relation)
+        for attribute in signature.attributes:
+            if (
+                updatable_attributes is not None
+                and attribute not in updatable_attributes
+            ):
+                continue
+            domain = database.active_domain(fact.relation, attribute)
+            values = list(domain.values_by_frequency())
+            if allow_fresh:
+                values.append(f"__fresh_{identifier}_{attribute}__")
+            candidates[(identifier, attribute)] = values
+    return candidates

@@ -1,0 +1,160 @@
+"""Maximal clique / maximal independent set enumeration.
+
+``I_MC`` counts maximal consistent subsets.  When every minimal inconsistent
+subset is a pair, those are exactly the maximal independent sets of the
+conflict graph, i.e. the maximal cliques of its complement.  The paper used
+a parallel C++ enumerator; this module implements Bron–Kerbosch with
+pivoting, plus a general (hypergraph-aware) enumerator used when some
+conflicts involve three or more facts.
+
+Counting maximal independent sets is #P-complete, so the enumerators accept
+a budget: exceeding it raises :class:`EnumerationBudgetExceeded`, which is
+how the benchmarks reproduce the paper's I_MC timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+Vertex = Hashable
+
+
+class EnumerationBudgetExceeded(RuntimeError):
+    """Raised when enumeration produces more results than the budget allows."""
+
+
+def maximal_cliques(
+    vertices: Sequence[Vertex],
+    adjacency: Mapping[Vertex, set[Vertex]],
+    limit: int | None = None,
+) -> Iterator[frozenset[Vertex]]:
+    """Enumerate maximal cliques (Bron–Kerbosch with Tomita pivoting)."""
+    produced = 0
+    order = {vertex: index for index, vertex in enumerate(vertices)}
+
+    def neighbours(vertex: Vertex) -> set[Vertex]:
+        return adjacency.get(vertex, set())
+
+    # Recursive generator formulation; recursion depth is bounded by the
+    # largest clique, which is small for the conflict graphs we meet.
+    def expand(
+        clique: set[Vertex], candidates: set[Vertex], excluded: set[Vertex]
+    ) -> Iterator[frozenset[Vertex]]:
+        nonlocal produced
+        if not candidates and not excluded:
+            produced += 1
+            if limit is not None and produced > limit:
+                raise EnumerationBudgetExceeded(
+                    f"more than {limit} maximal cliques"
+                )
+            yield frozenset(clique)
+            return
+        # Tomita pivot: vertex maximizing |candidates ∩ N(pivot)|.
+        pivot = max(
+            candidates | excluded,
+            key=lambda vertex: (len(candidates & neighbours(vertex)), -order[vertex]),
+        )
+        for vertex in sorted(candidates - neighbours(pivot), key=order.__getitem__):
+            yield from expand(
+                clique | {vertex},
+                candidates & neighbours(vertex),
+                excluded & neighbours(vertex),
+            )
+            candidates.remove(vertex)
+            excluded.add(vertex)
+
+    yield from expand(set(), set(vertices), set())
+
+
+def maximal_independent_sets(
+    vertices: Sequence[Vertex],
+    edges: Iterable[tuple[Vertex, Vertex]],
+    limit: int | None = None,
+) -> Iterator[frozenset[Vertex]]:
+    """Enumerate maximal independent sets of a graph via complement cliques."""
+    vertex_list = list(vertices)
+    adjacency: dict[Vertex, set[Vertex]] = {v: set() for v in vertex_list}
+    for u, v in edges:
+        if u == v:
+            continue
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    vertex_set = set(vertex_list)
+    complement = {
+        v: vertex_set - adjacency[v] - {v} for v in vertex_list
+    }
+    yield from maximal_cliques(vertex_list, complement, limit=limit)
+
+
+def count_maximal_independent_sets(
+    vertices: Sequence[Vertex],
+    edges: Iterable[tuple[Vertex, Vertex]],
+    limit: int | None = None,
+) -> int:
+    """Count maximal independent sets (the I_MC workhorse)."""
+    return sum(1 for _ in maximal_independent_sets(vertices, edges, limit=limit))
+
+
+def maximal_sets_avoiding(
+    elements: Sequence[Vertex],
+    forbidden: Sequence[frozenset[Vertex]],
+    limit: int | None = None,
+) -> Iterator[frozenset[Vertex]]:
+    """Enumerate maximal subsets containing no *forbidden* set (hypergraph MIS).
+
+    General but exponential: used only when some minimal inconsistent subset
+    has three or more facts, on small inputs.  Elements in no forbidden set
+    belong to every maximal set, so the search runs on the constrained core
+    only.
+    """
+    constrained = sorted(
+        {element for group in forbidden for element in group}, key=repr
+    )
+    free = [element for element in elements if element not in set(constrained)]
+    produced = 0
+    seen: set[frozenset[Vertex]] = set()
+
+    core_sets = _enumerate_core(constrained, list(forbidden))
+    for core in core_sets:
+        result = frozenset(core | set(free))
+        if result in seen:
+            continue
+        seen.add(result)
+        produced += 1
+        if limit is not None and produced > limit:
+            raise EnumerationBudgetExceeded(f"more than {limit} maximal sets")
+        yield result
+
+
+def _enumerate_core(
+    elements: list[Vertex], forbidden: list[frozenset[Vertex]]
+) -> Iterator[set[Vertex]]:
+    """All maximal independent sets of the hypergraph on *elements*.
+
+    Depth-first: decide membership element by element, pruning assignments
+    that complete a forbidden set, and check maximality at the leaves (an
+    excluded element must not be addable).
+    """
+    n = len(elements)
+
+    def violates(chosen: set[Vertex]) -> bool:
+        return any(group <= chosen for group in forbidden)
+
+    def addable(chosen: set[Vertex], element: Vertex) -> bool:
+        trial = chosen | {element}
+        return not violates(trial)
+
+    def walk(index: int, chosen: set[Vertex], excluded: list[Vertex]):
+        if violates(chosen):
+            return
+        if index == n:
+            if all(not addable(chosen, element) for element in excluded):
+                yield set(chosen)
+            return
+        element = elements[index]
+        yield from walk(index + 1, chosen | {element}, excluded)
+        excluded.append(element)
+        yield from walk(index + 1, chosen, excluded)
+        excluded.pop()
+
+    yield from walk(0, set(), [])

@@ -1,0 +1,160 @@
+"""Branch-and-bound solver for 0/1 integer linear programs.
+
+The paper computes ``I_R`` with the Gurobi ILP of Figure 2; this module is
+the from-scratch substitute.  It solves::
+
+    minimize    c @ x
+    subject to  rows (<=, >=, =)
+                x ∈ {0, 1}^n
+
+by depth-first branch and bound with the LP relaxation (simplex) as the lower
+bound.  Callers can supply an initial incumbent (e.g. the greedy hitting-set
+heuristic) to tighten pruning, and a node budget to bound worst-case work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .simplex import LpProblem, LpRow, LpStatus, Sense, solve_lp
+
+_INT_TOL = 1e-6
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when branch and bound exhausts its node budget."""
+
+
+@dataclass
+class IlpSolution:
+    """Result of an ILP solve."""
+
+    objective: float
+    values: np.ndarray
+    nodes_explored: int
+    proven_optimal: bool = True
+
+
+def solve_binary_ilp(
+    problem: LpProblem,
+    incumbent: np.ndarray | None = None,
+    max_nodes: int = 200_000,
+) -> IlpSolution | None:
+    """Solve a 0/1 ILP; returns None when infeasible.
+
+    *incumbent* must be a feasible 0/1 vector if given.  Raises
+    :class:`BudgetExceeded` when *max_nodes* LP relaxations were solved
+    without proving optimality.
+    """
+    base_rows = list(problem.rows)
+    num_vars = problem.num_vars
+    objective = problem.objective
+
+    best_value = np.inf
+    best_vector: np.ndarray | None = None
+    if incumbent is not None:
+        _check_feasible(problem, incumbent)
+        best_vector = np.asarray(incumbent, dtype=float).copy()
+        best_value = float(_objective_value(objective, best_vector))
+
+    nodes = 0
+    # Each stack entry fixes a partial assignment: dict var -> {0,1}.
+    stack: list[dict[int, int]] = [{}]
+    while stack:
+        fixed = stack.pop()
+        nodes += 1
+        if nodes > max_nodes:
+            raise BudgetExceeded(
+                f"branch and bound exceeded {max_nodes} nodes; best bound "
+                f"{best_value}"
+            )
+        relaxation = _build_relaxation(num_vars, objective, base_rows, fixed)
+        solution = solve_lp(relaxation)
+        if solution.status is LpStatus.INFEASIBLE:
+            continue
+        if solution.status is LpStatus.UNBOUNDED:  # pragma: no cover
+            raise ValueError("0/1 ILP relaxation cannot be unbounded")
+        assert solution.values is not None and solution.objective is not None
+        if solution.objective >= best_value - 1e-9:
+            continue  # pruned by bound
+        values = np.clip(solution.values, 0.0, 1.0)
+        fractional = _most_fractional(values, fixed)
+        if fractional is None:
+            rounded = np.round(values)
+            if _feasible_against(base_rows, rounded):
+                candidate = float(_objective_value(objective, rounded))
+                if candidate < best_value - 1e-12:
+                    best_value = candidate
+                    best_vector = rounded
+            continue
+        # Depth-first: explore the branch suggested by the LP value first.
+        prefer_one = values[fractional] >= 0.5
+        first = dict(fixed)
+        first[fractional] = 1 if prefer_one else 0
+        second = dict(fixed)
+        second[fractional] = 0 if prefer_one else 1
+        stack.append(second)
+        stack.append(first)
+
+    if best_vector is None:
+        return None
+    return IlpSolution(best_value, best_vector, nodes)
+
+
+def _build_relaxation(
+    num_vars: int,
+    objective,
+    rows: list[LpRow],
+    fixed: dict[int, int],
+) -> LpProblem:
+    relaxation = LpProblem(num_vars=num_vars, objective=objective)
+    relaxation.rows = list(rows)
+    upper = {var: 1.0 for var in range(num_vars)}
+    for var, value in fixed.items():
+        if value == 0:
+            upper[var] = 0.0
+        else:
+            relaxation.rows.append(LpRow({var: 1.0}, Sense.GE, 1.0))
+    relaxation.upper_bounds = upper
+    return relaxation
+
+
+def _most_fractional(values: np.ndarray, fixed: dict[int, int]) -> int | None:
+    best = None
+    best_gap = _INT_TOL
+    for var, value in enumerate(values):
+        if var in fixed:
+            continue
+        gap = min(value, 1.0 - value)
+        if gap > best_gap:
+            best_gap = gap
+            best = var
+    return best
+
+
+def _objective_value(objective, vector: np.ndarray) -> float:
+    return sum(coefficient * vector[var] for var, coefficient in objective.items())
+
+
+def _feasible_against(rows: list[LpRow], vector: np.ndarray) -> bool:
+    for row in rows:
+        total = sum(
+            coefficient * vector[var] for var, coefficient in row.coefficients.items()
+        )
+        if row.sense is Sense.LE and total > row.rhs + 1e-7:
+            return False
+        if row.sense is Sense.GE and total < row.rhs - 1e-7:
+            return False
+        if row.sense is Sense.EQ and abs(total - row.rhs) > 1e-7:
+            return False
+    return True
+
+
+def _check_feasible(problem: LpProblem, vector: np.ndarray) -> None:
+    candidate = np.asarray(vector, dtype=float)
+    if candidate.shape != (problem.num_vars,):
+        raise ValueError("incumbent has wrong dimension")
+    if not _feasible_against(list(problem.rows), candidate):
+        raise ValueError("incumbent is infeasible")

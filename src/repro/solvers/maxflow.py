@@ -1,0 +1,119 @@
+"""Dinic's maximum-flow algorithm.
+
+Used by the half-integral LP specialization (Nemhauser–Trotter) to compute
+minimum-weight vertex covers of bipartite graphs via the max-flow/min-cut
+duality (König's theorem, weighted form).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+INFINITY = float("inf")
+
+
+class FlowNetwork:
+    """A directed flow network with integer or float capacities."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        #: adjacency: node -> list of edge indices into the flat arrays
+        self._adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._to: list[int] = []
+        self._capacity: list[float] = []
+
+    def add_edge(self, source: int, target: int, capacity: float) -> int:
+        """Add a directed edge; returns its index (reverse edge is index+1)."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        index = len(self._to)
+        self._adjacency[source].append(index)
+        self._to.append(target)
+        self._capacity.append(capacity)
+        self._adjacency[target].append(index + 1)
+        self._to.append(source)
+        self._capacity.append(0.0)
+        return index
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Run Dinic's algorithm; mutates residual capacities."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level is None:
+                return flow
+            iterators = [0] * self.num_nodes
+            while True:
+                pushed = self._dfs_push(source, sink, INFINITY, level, iterators)
+                if pushed <= 0:
+                    break
+                flow += pushed
+
+    def min_cut_reachable(self, source: int) -> set[int]:
+        """Nodes reachable from *source* in the residual graph (call after max_flow)."""
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge in self._adjacency[node]:
+                if self._capacity[edge] > 1e-12:
+                    neighbor = self._to[edge]
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        queue.append(neighbor)
+        return seen
+
+    def residual_capacity(self, edge_index: int) -> float:
+        """Remaining capacity of an edge added via :meth:`add_edge`."""
+        return self._capacity[edge_index]
+
+    def flow_on(self, edge_index: int) -> float:
+        """Flow currently routed through an edge added via :meth:`add_edge`."""
+        return self._capacity[edge_index ^ 1]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, source: int, sink: int) -> list[int] | None:
+        level = [-1] * self.num_nodes
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge in self._adjacency[node]:
+                if self._capacity[edge] > 1e-12:
+                    neighbor = self._to[edge]
+                    if level[neighbor] < 0:
+                        level[neighbor] = level[node] + 1
+                        queue.append(neighbor)
+        if level[sink] < 0:
+            return None
+        return level
+
+    def _dfs_push(
+        self,
+        node: int,
+        sink: int,
+        limit: float,
+        level: list[int],
+        iterators: list[int],
+    ) -> float:
+        if node == sink:
+            return limit
+        adjacency = self._adjacency[node]
+        while iterators[node] < len(adjacency):
+            edge = adjacency[iterators[node]]
+            neighbor = self._to[edge]
+            capacity = self._capacity[edge]
+            if capacity > 1e-12 and level[neighbor] == level[node] + 1:
+                pushed = self._dfs_push(
+                    neighbor, sink, min(limit, capacity), level, iterators
+                )
+                if pushed > 0:
+                    self._capacity[edge] -= pushed
+                    self._capacity[edge ^ 1] += pushed
+                    return pushed
+            iterators[node] += 1
+        return 0.0

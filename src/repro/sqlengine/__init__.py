@@ -1,0 +1,29 @@
+"""Mini SQL engine: lexer, parser, planner, executor.
+
+The paper materializes conflicting tuple pairs with SQL self-joins on a
+commercial RDBMS; this subpackage is the from-scratch substitute.
+"""
+
+from .ast import ColumnRef, Comparison, CountStar, Literal, SelectQuery, TableRef
+from .executor import SqlEngine
+from .lexer import tokenize
+from .parser import parse_query
+from .planner import explain, plan_query
+from .tokens import SqlSyntaxError, Token, TokenType
+
+__all__ = [
+    "ColumnRef",
+    "Comparison",
+    "CountStar",
+    "Literal",
+    "SelectQuery",
+    "SqlEngine",
+    "SqlSyntaxError",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "explain",
+    "parse_query",
+    "plan_query",
+    "tokenize",
+]

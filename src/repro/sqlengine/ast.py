@@ -1,0 +1,114 @@
+"""Abstract syntax tree for the mini SQL dialect.
+
+The dialect covers exactly what the paper's measure implementations need:
+``SELECT [DISTINCT] cols FROM R AS R1, R AS R2 WHERE conj-of-comparisons``,
+plus ``COUNT(*)`` and bare single-table scans.  ``OR`` is supported in the
+WHERE clause because FDs with multi-attribute right-hand sides produce
+disjunctive difference conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..constraints.base import ComparisonOp
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference (``R1.City`` or ``City``)."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant (number or string)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` in a WHERE clause."""
+
+    left: Operand
+    op: ComparisonOp
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of conditions."""
+
+    conditions: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of conditions."""
+
+    conditions: tuple["Condition", ...]
+
+
+Condition = Union[Comparison, And, Or]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``relation AS alias`` in a FROM clause."""
+
+    relation: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``COUNT(*)`` in a SELECT list."""
+
+
+SelectItem = Union[ColumnRef, CountStar]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A full query."""
+
+    select: tuple[SelectItem, ...]
+    distinct: bool
+    tables: tuple[TableRef, ...]
+    where: Condition | None
+    select_star: bool = False
+
+    def is_aggregate(self) -> bool:
+        """True when the SELECT list is a single COUNT(*)."""
+        return len(self.select) == 1 and isinstance(self.select[0], CountStar)
+
+
+def conjuncts(condition: Condition | None) -> list[Condition]:
+    """Flatten a condition into top-level conjuncts."""
+    if condition is None:
+        return []
+    if isinstance(condition, And):
+        result: list[Condition] = []
+        for child in condition.conditions:
+            result.extend(conjuncts(child))
+        return result
+    return [condition]

@@ -1,0 +1,112 @@
+"""Hand-written lexer for the mini SQL dialect."""
+
+from __future__ import annotations
+
+from .tokens import KEYWORDS, OPERATORS, SqlSyntaxError, Token, TokenType
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split *sql* into tokens, ending with a single EOF token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", index))
+            index += 1
+            continue
+        if char == ".":
+            tokens.append(Token(TokenType.DOT, ".", index))
+            index += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", index))
+            index += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", index))
+            index += 1
+            continue
+        if char == "*":
+            tokens.append(Token(TokenType.STAR, "*", index))
+            index += 1
+            continue
+        if char == "'":
+            token, index = _lex_string(sql, index)
+            tokens.append(token)
+            continue
+        operator = _match_operator(sql, index)
+        if operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, operator, index))
+            index += len(operator)
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and sql[index + 1].isdigit()
+        ):
+            token, index = _lex_number(sql, index)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            token, index = _lex_word(sql, index)
+            tokens.append(token)
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _match_operator(sql: str, index: int) -> str | None:
+    for operator in OPERATORS:
+        if sql.startswith(operator, index):
+            return operator
+    return None
+
+
+def _lex_string(sql: str, start: int) -> tuple[Token, int]:
+    index = start + 1
+    parts: list[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            # Doubled quote escapes a literal quote, SQL style.
+            if index + 1 < len(sql) and sql[index + 1] == "'":
+                parts.append("'")
+                index += 2
+                continue
+            return Token(TokenType.STRING, "".join(parts), start), index + 1
+        parts.append(char)
+        index += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _lex_number(sql: str, start: int) -> tuple[Token, int]:
+    index = start
+    if sql[index] == "-":
+        index += 1
+    seen_dot = False
+    while index < len(sql):
+        char = sql[index]
+        if char.isdigit():
+            index += 1
+            continue
+        if char == "." and not seen_dot and index + 1 < len(sql) and sql[index + 1].isdigit():
+            seen_dot = True
+            index += 1
+            continue
+        break
+    return Token(TokenType.NUMBER, sql[start:index], start), index
+
+
+def _lex_word(sql: str, start: int) -> tuple[Token, int]:
+    index = start
+    while index < len(sql) and (sql[index].isalnum() or sql[index] == "_"):
+        index += 1
+    word = sql[start:index]
+    token_type = (
+        TokenType.KEYWORD if word.upper() in KEYWORDS else TokenType.IDENTIFIER
+    )
+    return Token(token_type, word, start), index

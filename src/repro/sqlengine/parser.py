@@ -1,0 +1,189 @@
+"""Recursive-descent parser for the mini SQL dialect."""
+
+from __future__ import annotations
+
+from ..constraints.base import ComparisonOp
+from .ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Condition,
+    CountStar,
+    Literal,
+    Operand,
+    Or,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+from .lexer import tokenize
+from .tokens import SqlSyntaxError, Token, TokenType
+
+
+def parse_query(sql: str) -> SelectQuery:
+    """Parse *sql* into a :class:`SelectQuery`."""
+    return _Parser(tokenize(sql)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.matches_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().matches_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise SqlSyntaxError(
+                f"expected {token_type.value}, found {token.text!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        select_star = False
+        items: list[SelectItem] = []
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            select_star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        tables = [self._parse_table_ref()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            tables.append(self._parse_table_ref())
+        where: Condition | None = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_condition()
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {token.text!r}", token.position
+            )
+        aliases = [table.alias for table in tables]
+        if len(set(aliases)) != len(aliases):
+            raise SqlSyntaxError(f"duplicate table aliases: {aliases}")
+        return SelectQuery(
+            select=tuple(items),
+            distinct=distinct,
+            tables=tuple(tables),
+            where=where,
+            select_star=select_star,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.matches_keyword("COUNT"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            self._expect(TokenType.STAR)
+            self._expect(TokenType.RPAREN)
+            return CountStar()
+        return self._parse_column_ref()
+
+    def _parse_table_ref(self) -> TableRef:
+        relation = self._expect(TokenType.IDENTIFIER).text
+        alias = relation
+        if self._accept_keyword("AS"):
+            alias = self._expect(TokenType.IDENTIFIER).text
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return TableRef(relation=relation, alias=alias)
+
+    def _parse_condition(self) -> Condition:
+        return self._parse_or()
+
+    def _parse_or(self) -> Condition:
+        parts = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def _parse_and(self) -> Condition:
+        parts = [self._parse_primary_condition()]
+        while True:
+            token = self._peek()
+            if token.matches_keyword("AND"):
+                self._advance()
+                parts.append(self._parse_primary_condition())
+                continue
+            # The paper writes WHERE clauses with commas between predicates;
+            # accept comma as a synonym for AND when a condition follows.
+            if token.type is TokenType.COMMA:
+                self._advance()
+                parts.append(self._parse_primary_condition())
+                continue
+            break
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def _parse_primary_condition(self) -> Condition:
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            condition = self._parse_condition()
+            self._expect(TokenType.RPAREN)
+            return condition
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_operand()
+        op_token = self._expect(TokenType.OPERATOR)
+        op = ComparisonOp.parse(op_token.text)
+        right = self._parse_operand()
+        return Comparison(left, op, right)
+
+    def _parse_operand(self) -> Operand:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text)
+        return self._parse_column_ref()
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER).text
+        if self._peek().type is TokenType.DOT:
+            self._advance()
+            second = self._expect(TokenType.IDENTIFIER).text
+            return ColumnRef(table=first, column=second)
+        return ColumnRef(table=None, column=first)

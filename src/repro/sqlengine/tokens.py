@@ -1,0 +1,63 @@
+"""Token model for the mini SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical classes recognized by the lexer."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    EOF = "eof"
+
+
+#: Reserved words (case-insensitive).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "COUNT",
+    }
+)
+
+#: Multi-character operators must come before their prefixes.
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    text: str
+    position: int
+
+    def matches_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword test."""
+        return self.type is TokenType.KEYWORD and self.text.upper() == word.upper()
+
+
+class SqlSyntaxError(ValueError):
+    """Raised by the lexer and parser on malformed SQL."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(message + suffix)
+        self.position = position

@@ -1,0 +1,36 @@
+"""Violation detection: minimal inconsistent subsets, conflict (hyper)graphs."""
+
+from .conflict_graph import (
+    ConflictGraph,
+    ConflictHypergraph,
+    conflict_graph_from_index,
+    conflict_hypergraph_from_index,
+    connected_components,
+)
+from .minimal import (
+    MinimalViolation,
+    ViolationIndex,
+    build_violation_index,
+    find_first_violation,
+    is_consistent,
+    lower_constraints,
+    violations_of,
+)
+from .sqlgen import conflict_rows, conflict_sql
+
+__all__ = [
+    "ConflictGraph",
+    "ConflictHypergraph",
+    "MinimalViolation",
+    "ViolationIndex",
+    "build_violation_index",
+    "conflict_graph_from_index",
+    "conflict_hypergraph_from_index",
+    "conflict_rows",
+    "conflict_sql",
+    "connected_components",
+    "find_first_violation",
+    "is_consistent",
+    "lower_constraints",
+    "violations_of",
+]

@@ -1,0 +1,116 @@
+"""Conflict graphs and hypergraphs over fact identifiers.
+
+For FDs, the conflict graph has the database facts as vertices and an edge
+between every two facts that jointly violate an FD; ``I_R`` is its minimum
+vertex cover, ``I_MC`` counts its maximal independent sets (Section 5.1).
+Wider denial constraints produce a conflict *hypergraph*; both views are
+derived from a :class:`~repro.violations.minimal.ViolationIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .minimal import ViolationIndex
+
+
+@dataclass
+class ConflictGraph:
+    """Pairwise conflicts plus self-loops (singleton violations)."""
+
+    vertices: set[int] = field(default_factory=set)
+    edges: set[tuple[int, int]] = field(default_factory=set)
+    self_loops: set[int] = field(default_factory=set)
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            self.self_loops.add(u)
+            self.vertices.add(u)
+            return
+        self.vertices.add(u)
+        self.vertices.add(v)
+        self.edges.add((min(u, v), max(u, v)))
+
+    def neighbors(self, vertex: int) -> set[int]:
+        result = set()
+        for u, v in self.edges:
+            if u == vertex:
+                result.add(v)
+            elif v == vertex:
+                result.add(u)
+        return result
+
+    def degree(self, vertex: int) -> int:
+        return len(self.neighbors(vertex))
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+
+@dataclass
+class ConflictHypergraph:
+    """The full MI family viewed as a hypergraph."""
+
+    hyperedges: list[frozenset[int]] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return max((len(edge) for edge in self.hyperedges), default=0)
+
+    @property
+    def is_graph(self) -> bool:
+        """True when every hyperedge is a pair or singleton."""
+        return self.width <= 2
+
+    def vertices(self) -> set[int]:
+        result: set[int] = set()
+        for edge in self.hyperedges:
+            result |= edge
+        return result
+
+
+def conflict_graph_from_index(index: ViolationIndex) -> ConflictGraph:
+    """Project ``MI_Σ(D)`` onto a graph; raises if some MI set is wider than 2."""
+    graph = ConflictGraph()
+    for group in index.mi_sets:
+        if len(group) == 1:
+            (only,) = group
+            graph.add_edge(only, only)
+        elif len(group) == 2:
+            u, v = sorted(group)
+            graph.add_edge(u, v)
+        else:
+            raise ValueError(
+                f"MI set {sorted(group)} has width {len(group)}; use the "
+                "hypergraph view for wide denial constraints"
+            )
+    return graph
+
+
+def conflict_hypergraph_from_index(index: ViolationIndex) -> ConflictHypergraph:
+    """The MI family as a hypergraph (always applicable)."""
+    return ConflictHypergraph(list(index.mi_sets))
+
+
+def connected_components(graph: ConflictGraph) -> list[set[int]]:
+    """Connected components of the conflict graph (self-loops count as vertices)."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for vertex in graph.vertices:
+        parent.setdefault(vertex, vertex)
+    for u, v in graph.edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    groups: dict[int, set[int]] = {}
+    for vertex in graph.vertices:
+        groups.setdefault(find(vertex), set()).add(vertex)
+    return sorted(groups.values(), key=lambda group: sorted(group))

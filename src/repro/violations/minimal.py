@@ -1,0 +1,224 @@
+"""Minimal inconsistent subsets (``MI_Σ(D)``) and per-constraint violations.
+
+For a set Σ of anti-monotonic constraints, ``MI_Σ(D)`` is the family of
+minimal subsets of ``D`` violating Σ (Section 3 of the paper).  Constraints
+are lowered to denial constraints; a witness of a DC is a tuple-variable
+assignment satisfying its body, and the family of witness fact-id sets,
+minimized under ⊆, is exactly ``MI_Σ(D)``.
+
+Binary DCs (the common case: FDs and all mined constraints) run through the
+SQL engine; wider DCs use a recursive join that exploits equality predicates
+with hash indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..constraints.base import ComparisonOp, Constraint
+from ..constraints.dc import DenialConstraint, Predicate
+from ..relational.database import Database
+from .sqlgen import conflict_rows
+
+
+@dataclass
+class MinimalViolation:
+    """A minimal violation: the fact-id set and the constraint it violates.
+
+    This is the ``(F, σ)`` notion discussed for update repairs in §5.3.
+    """
+
+    fact_ids: frozenset[int]
+    constraint: DenialConstraint
+
+
+@dataclass
+class ViolationIndex:
+    """Everything the measures need, computed once per (Σ, D).
+
+    * ``mi_sets`` — ``MI_Σ(D)`` as frozensets of fact identifiers;
+    * ``per_constraint`` — all minimal violations, keyed by lowered DC;
+    * ``problematic`` — ``∪ MI_Σ(D)``;
+    * ``self_inconsistent`` — facts forming singleton MI sets (contradictory
+      tuples in the sense of Parisi & Grant).
+    """
+
+    mi_sets: list[frozenset[int]] = field(default_factory=list)
+    per_constraint: list[MinimalViolation] = field(default_factory=list)
+
+    @property
+    def problematic(self) -> set[int]:
+        union: set[int] = set()
+        for group in self.mi_sets:
+            union |= group
+        return union
+
+    @property
+    def self_inconsistent(self) -> set[int]:
+        return {next(iter(group)) for group in self.mi_sets if len(group) == 1}
+
+    @property
+    def max_width(self) -> int:
+        return max((len(group) for group in self.mi_sets), default=0)
+
+    def is_consistent(self) -> bool:
+        return not self.mi_sets
+
+
+def lower_constraints(
+    constraints: Sequence[Constraint], schema=None
+) -> list[DenialConstraint]:
+    """Lower a mixed constraint set to denial constraints.
+
+    *schema*, when given, lets EGDs resolve positional variables to the
+    actual attribute names of their relations.
+    """
+    from ..constraints.egd import EqualityGeneratingDependency
+    from ..constraints.fd import FunctionalDependency
+
+    lowered: list[DenialConstraint] = []
+    for constraint in constraints:
+        if isinstance(constraint, FunctionalDependency):
+            lowered.extend(constraint.to_dcs())
+        else:
+            if schema is not None and isinstance(
+                constraint, EqualityGeneratingDependency
+            ):
+                constraint.bind_schema(schema)
+            lowered.append(constraint.to_dc())
+    return lowered
+
+
+def build_violation_index(
+    constraints: Sequence[Constraint],
+    database: Database,
+    *,
+    force_nested_loop: bool = False,
+) -> ViolationIndex:
+    """Compute ``MI_Σ(D)`` and the per-constraint violation list."""
+    index = ViolationIndex()
+    raw_sets: set[frozenset[int]] = set()
+    for dc in lower_constraints(constraints, database.schema):
+        for ids in _witness_id_sets(dc, database, force_nested_loop):
+            violation_set = frozenset(ids)
+            index.per_constraint.append(MinimalViolation(violation_set, dc))
+            raw_sets.add(violation_set)
+    index.mi_sets = _minimize(raw_sets)
+    return index
+
+
+def is_consistent(constraints: Sequence[Constraint], database: Database) -> bool:
+    """``D ⊨ Σ`` — with early exit on the first witness."""
+    for dc in lower_constraints(constraints, database.schema):
+        for _ in _witness_id_sets(dc, database, False, first_only=True):
+            return False
+    return True
+
+
+def find_first_violation(
+    constraints: Sequence[Constraint], database: Database
+) -> MinimalViolation | None:
+    """The first witness found, or None when consistent (early exit)."""
+    for dc in lower_constraints(constraints, database.schema):
+        for ids in _witness_id_sets(dc, database, False, first_only=True):
+            return MinimalViolation(frozenset(ids), dc)
+    return None
+
+
+def violations_of(
+    dc: DenialConstraint,
+    database: Database,
+    *,
+    force_nested_loop: bool = False,
+) -> list[frozenset[int]]:
+    """Minimal violations of a single DC (not minimized across constraints)."""
+    return [
+        frozenset(ids)
+        for ids in _witness_id_sets(dc, database, force_nested_loop)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Witness enumeration
+# ----------------------------------------------------------------------
+def _witness_id_sets(
+    dc: DenialConstraint,
+    database: Database,
+    force_nested_loop: bool,
+    first_only: bool = False,
+) -> Iterable[tuple[int, ...]]:
+    """Yield deduplicated, subset-minimal-per-witness id tuples."""
+    seen: set[frozenset[int]] = set()
+    if dc.width <= 2:
+        rows = conflict_rows(
+            dc, database, force_nested_loop=force_nested_loop
+        )
+    else:
+        rows = _wide_witnesses(dc, database)
+    for row in rows:
+        key = frozenset(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield tuple(sorted(key))
+        if first_only:
+            return
+
+
+def _wide_witnesses(
+    dc: DenialConstraint, database: Database
+) -> Iterable[tuple[int, ...]]:
+    """Recursive join for DCs with three or more tuple variables.
+
+    Binds variables left to right; equality predicates whose right side binds
+    the current variable are served from hash indices, remaining predicates
+    are checked as soon as both sides are bound.
+    """
+    schema = database.schema
+    variables = [variable for variable, _ in dc.variables]
+    relations = dict(dc.variables)
+    position = {variable: i for i, variable in enumerate(variables)}
+
+    def ready_at(predicate: Predicate) -> int:
+        return max(
+            (position[v] for v in predicate.variables()), default=0
+        )
+
+    checks_at: dict[int, list[Predicate]] = {i: [] for i in range(len(variables))}
+    for predicate in dc.predicates:
+        checks_at[ready_at(predicate)].append(predicate)
+
+    ids_by_relation = {
+        relation: database.relation_ids(relation)
+        for relation in set(relations.values())
+    }
+
+    def recurse(level: int, assignment: dict, chosen_ids: list[int]):
+        if level == len(variables):
+            yield tuple(chosen_ids)
+            return
+        variable = variables[level]
+        for identifier in ids_by_relation[relations[variable]]:
+            fact = database[identifier]
+            assignment[variable] = fact
+            if all(
+                predicate.evaluate(assignment, schema)
+                for predicate in checks_at[level]
+            ):
+                chosen_ids.append(identifier)
+                yield from recurse(level + 1, assignment, chosen_ids)
+                chosen_ids.pop()
+            del assignment[variable]
+
+    yield from recurse(0, {}, [])
+
+
+def _minimize(sets: set[frozenset[int]]) -> list[frozenset[int]]:
+    """⊆-minimal members of the family, deterministic order."""
+    ordered = sorted(sets, key=lambda group: (len(group), sorted(group)))
+    kept: list[frozenset[int]] = []
+    for group in ordered:
+        if not any(other <= group for other in kept):
+            kept.append(group)
+    return kept

@@ -1,0 +1,66 @@
+"""SQL generation for conflict materialization.
+
+The paper computes, per denial constraint, the set of conflicting tuple
+pairs with a self-join query such as::
+
+    SELECT DISTINCT R1.ID, R2.ID
+    FROM R AS R1, R AS R2
+    WHERE R1.St = R2.St AND R1.Salary > R2.Salary AND R1.Tax < R2.Tax
+
+This module renders that query from a :class:`DenialConstraint` and runs it
+through the in-package SQL engine.
+"""
+
+from __future__ import annotations
+
+from ..constraints.dc import DenialConstraint, Term
+from ..relational.database import Database
+from ..sqlengine.executor import SqlEngine
+
+
+def conflict_sql(dc: DenialConstraint) -> str:
+    """Render the conflict-pair (or conflict-row) query for *dc*."""
+    alias_of = {
+        variable: f"T{index}" for index, (variable, _) in enumerate(dc.variables)
+    }
+    select = ", ".join(
+        f"{alias_of[variable]}.ID" for variable, _ in dc.variables
+    )
+    tables = ", ".join(
+        f"{relation} AS {alias_of[variable]}" for variable, relation in dc.variables
+    )
+    predicates = [
+        f"{_render_term(p.left, alias_of)} {_sql_op(p.op.value)} "
+        f"{_render_term(p.right, alias_of)}"
+        for p in dc.predicates
+    ]
+    where = " AND ".join(predicates) if predicates else ""
+    sql = f"SELECT DISTINCT {select} FROM {tables}"
+    if where:
+        sql += f" WHERE {where}"
+    return sql
+
+
+def conflict_rows(
+    dc: DenialConstraint,
+    database: Database,
+    *,
+    force_nested_loop: bool = False,
+) -> list[tuple[int, ...]]:
+    """Identifier tuples (one per tuple variable) of all witnesses of *dc*."""
+    engine = SqlEngine(database, force_nested_loop=force_nested_loop)
+    return engine.execute(conflict_sql(dc))
+
+
+def _render_term(term: Term, alias_of: dict[str, str]) -> str:
+    if term.is_constant:
+        value = term.constant
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(value)
+    return f"{alias_of[term.variable]}.{term.attribute}"
+
+
+def _sql_op(op: str) -> str:
+    return {"!=": "<>"}.get(op, op)

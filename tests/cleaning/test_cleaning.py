@@ -1,0 +1,93 @@
+"""Tests for the MiniHoloClean cleaner and the incremental pipeline."""
+
+import pytest
+
+from repro.cleaning import MiniHoloClean, run_incremental_pipeline
+from repro.constraints import FunctionalDependency
+from repro.datasets import generate_sample
+from repro.measures import make_measures
+from repro.noise import RNoise
+from repro.relational import Database, Schema
+from repro.violations import build_violation_index, is_consistent
+
+
+@pytest.fixture
+def fd_db():
+    schema = Schema.from_dict({"R": ["Key", "Val", "Other"]})
+    rows = [(k, f"v{k}", 0) for k in range(5) for _ in range(6)]
+    return Database.from_rows(schema, "R", rows), [
+        FunctionalDependency("R", {"Key"}, {"Val"})
+    ]
+
+
+class TestMiniHoloClean:
+    def test_clean_database_untouched(self, fd_db):
+        db, constraints = fd_db
+        report = MiniHoloClean(constraints).clean(db)
+        assert report.cells_repaired == 0
+        assert report.violations_before == 0
+
+    def test_majority_repair(self, fd_db):
+        db, constraints = fd_db
+        # Corrupt one cell: group 0 has 5 copies of 'v0' and one 'WRONG'.
+        db.update(0, "Val", "WRONG")
+        report = MiniHoloClean(constraints).clean(db)
+        assert report.violations_before > 0
+        assert report.violations_after == 0
+        assert db.get_cell(0, "Val") == "v0"
+
+    def test_reduces_violations_on_noisy_sample(self):
+        db, constraints = generate_sample("Hospital", 120, seed=5)
+        RNoise(constraints, alpha=0.02, seed=6).run(db)
+        before = len(build_violation_index(constraints, db).mi_sets)
+        report = MiniHoloClean(constraints).clean(db)
+        assert report.violations_before == before
+        assert report.violations_after < before
+
+    def test_report_counts(self, fd_db):
+        db, constraints = fd_db
+        db.update(0, "Val", "WRONG")
+        report = MiniHoloClean(constraints).clean(db)
+        assert report.cells_examined > 0
+        assert report.cells_repaired >= 1
+
+
+class TestPipeline:
+    def test_series_lengths(self, fd_db):
+        db, constraints = fd_db
+        db.update(0, "Val", "WRONG")
+        measures = make_measures(["I_d", "I_MI"])
+        result = run_incremental_pipeline(db, constraints, measures)
+        # One point for the dirty db plus one per constraint step.
+        assert len(result.series["I_MI"]) == len(constraints) + 1
+        assert len(result.reports) == len(constraints)
+
+    def test_input_not_mutated(self, fd_db):
+        db, constraints = fd_db
+        db.update(0, "Val", "WRONG")
+        snapshot = db.copy()
+        run_incremental_pipeline(db, constraints, make_measures(["I_MI"]))
+        assert db == snapshot
+
+    def test_inconsistency_decays(self):
+        db, constraints = generate_sample("Hospital", 100, seed=8)
+        RNoise(constraints, alpha=0.03, seed=9).run(db)
+        measures = make_measures(["I_MI", "I_lin_R"])
+        result = run_incremental_pipeline(db, constraints, measures, seed=0)
+        series = result.series["I_lin_R"]
+        assert series[-1] <= series[0]
+        assert series[0] > 0
+
+    def test_permutation_validation(self, fd_db):
+        db, constraints = fd_db
+        with pytest.raises(ValueError, match="permutation"):
+            run_incremental_pipeline(
+                db, constraints, make_measures(["I_d"]), permutation=[5]
+            )
+
+    def test_normalized_series(self, fd_db):
+        db, constraints = fd_db
+        db.update(0, "Val", "WRONG")
+        result = run_incremental_pipeline(db, constraints, make_measures(["I_MI"]))
+        normalized = result.normalized()["I_MI"]
+        assert max(normalized) <= 1.0

@@ -1,0 +1,50 @@
+"""Shared fixtures: small schemas, databases and constraint sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import FunctionalDependency, parse_dc
+from repro.datasets.example1 import (
+    airport_constraints,
+    clean_database,
+    noisy_database_d1,
+    noisy_database_d2,
+)
+from repro.relational import Database, Schema
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    return Schema.from_dict({"R": ["A", "B", "C"]})
+
+
+@pytest.fixture
+def simple_db(simple_schema) -> Database:
+    return Database.from_rows(
+        simple_schema,
+        "R",
+        [(1, "x", 10), (1, "y", 20), (2, "x", 30), (3, "z", 10)],
+    )
+
+
+@pytest.fixture
+def fd_a_b() -> FunctionalDependency:
+    return FunctionalDependency("R", {"A"}, {"B"})
+
+
+@pytest.fixture
+def airport_example():
+    """(constraints, D0, D1, D2) of the running example."""
+    return (
+        airport_constraints(),
+        clean_database(),
+        noisy_database_d1(),
+        noisy_database_d2(),
+    )
+
+
+@pytest.fixture
+def order_dc():
+    """A single-tuple order DC over R(A, B, C): ¬(A > B)."""
+    return parse_dc("not(t.A > t.B)", "R")

@@ -1,0 +1,100 @@
+"""Unit tests for comparison operators and constraint-system helpers."""
+
+import pytest
+
+from repro.constraints import (
+    ComparisonOp,
+    ConstraintSystem,
+    FunctionalDependency,
+    classify,
+    example8_egds,
+    overlap_ratios,
+    parse_dc,
+)
+
+
+class TestComparisonOp:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (ComparisonOp.EQ, 1, 1, True),
+            (ComparisonOp.EQ, 1, 2, False),
+            (ComparisonOp.NE, "a", "b", True),
+            (ComparisonOp.LT, 1, 2, True),
+            (ComparisonOp.LE, 2, 2, True),
+            (ComparisonOp.GT, 3, 2, True),
+            (ComparisonOp.GE, 2, 3, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert op.evaluate(left, right) is expected
+
+    def test_null_comparisons_false(self):
+        for op in ComparisonOp:
+            assert op.evaluate(None, 1) is False
+
+    def test_incomparable_types_false(self):
+        assert ComparisonOp.LT.evaluate("a", 1) is False
+
+    def test_mixed_numerics_comparable(self):
+        assert ComparisonOp.LT.evaluate(1, 1.5) is True
+
+    def test_negation_involution(self):
+        for op in ComparisonOp:
+            assert op.negated().negated() is op
+
+    def test_flip_swaps_operands(self):
+        for op in ComparisonOp:
+            assert op.flipped().evaluate(2, 1) == op.evaluate(1, 2)
+
+    def test_parse_aliases(self):
+        assert ComparisonOp.parse("<>") is ComparisonOp.NE
+        assert ComparisonOp.parse("==") is ComparisonOp.EQ
+        assert ComparisonOp.parse("≥") is ComparisonOp.GE
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            ComparisonOp.parse("~~")
+
+
+class TestClassify:
+    def test_fds_classified_narrow(self):
+        fds = [FunctionalDependency("R", {"A"}, {"B"})]
+        assert classify(fds) is ConstraintSystem.FD
+
+    def test_egd_widens(self):
+        egd = example8_egds()["sigma2"]
+        fds = [FunctionalDependency("R", {"A"}, {"B"})]
+        assert classify(fds + [egd]) is ConstraintSystem.EGD
+
+    def test_dc_widest(self):
+        dc = parse_dc("not(t.A > t.B)", "R")
+        assert classify([dc]) is ConstraintSystem.DC
+
+
+class TestOverlap:
+    def test_disjoint_constraints(self):
+        constraints = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"C"}, {"D"}),
+        ]
+        assert overlap_ratios(constraints) == [0.0, 0.0]
+
+    def test_full_overlap(self):
+        constraints = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"B"}, {"A"}),
+        ]
+        assert overlap_ratios(constraints) == [1.0, 1.0]
+
+    def test_single_constraint(self):
+        assert overlap_ratios([FunctionalDependency("R", {"A"}, {"B"})]) == [0.0]
+
+    def test_partial_overlap(self):
+        constraints = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"B"}, {"C"}),
+            FunctionalDependency("R", {"X"}, {"Y"}),
+        ]
+        ratios = overlap_ratios(constraints)
+        assert ratios == [0.5, 0.5, 0.0]

@@ -1,0 +1,107 @@
+"""Unit tests for EGDs and the Theorem 1 shape probes."""
+
+import pytest
+
+from repro.constraints import Atom, EqualityGeneratingDependency, example8_egds
+from repro.relational import Database, Fact, Schema
+from repro.violations import is_consistent
+
+
+class TestConstruction:
+    def test_needs_atom(self):
+        with pytest.raises(ValueError):
+            EqualityGeneratingDependency([], "x", "y")
+
+    def test_conclusion_must_occur(self):
+        atom = Atom("R", ("x", "y"))
+        with pytest.raises(ValueError, match="does not occur"):
+            EqualityGeneratingDependency([atom], "x", "z")
+
+    def test_trivial_conclusion_rejected(self):
+        atom = Atom("R", ("x", "y"))
+        with pytest.raises(ValueError, match="trivial"):
+            EqualityGeneratingDependency([atom], "x", "x")
+
+    def test_equality_symmetric_in_conclusion(self):
+        atom = Atom("R", ("x", "y"))
+        first = EqualityGeneratingDependency([atom], "x", "y")
+        second = EqualityGeneratingDependency([atom], "y", "x")
+        assert first == second
+
+
+class TestTheorem1Shapes:
+    def test_example8_classification(self):
+        egds = example8_egds()
+        assert not egds["sigma1"].is_hard_path_shape()  # FD
+        assert egds["sigma2"].is_hard_path_shape()
+        assert egds["sigma3"].is_hard_path_shape()
+        assert not egds["sigma4"].is_hard_path_shape()  # two relations
+
+    def test_path_shape_requires_same_relation(self):
+        egd = EqualityGeneratingDependency(
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], "x", "z"
+        )
+        assert not egd.is_hard_path_shape()
+
+    def test_path_shape_atom_order_irrelevant(self):
+        egd = EqualityGeneratingDependency(
+            [Atom("R", ("y", "z")), Atom("R", ("x", "y"))], "x", "z"
+        )
+        assert egd.is_hard_path_shape()
+
+    def test_two_binary_atoms_probe(self):
+        ternary = EqualityGeneratingDependency(
+            [Atom("R", ("x", "y", "z"))], "x", "y"
+        )
+        assert not ternary.has_two_binary_atoms()
+        assert example8_egds()["sigma1"].has_two_binary_atoms()
+
+
+class TestLowering:
+    def test_fd_shaped_egd_matches_semantics(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        egd = example8_egds()["sigma1"]  # R(x,y), R(x,z) -> y = z, i.e. A -> B
+        egd.bind_schema(schema)
+        consistent = Database.from_rows(schema, "R", [(1, 2), (1, 2), (3, 4)])
+        violated = Database.from_rows(schema, "R", [(1, 2), (1, 3)])
+        assert is_consistent([egd], consistent)
+        assert not is_consistent([egd], violated)
+
+    def test_path_egd_semantics(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        egd = example8_egds()["sigma2"]  # R(x,y), R(y,z) -> x = z
+        egd.bind_schema(schema)
+        two_cycle = Database.from_rows(schema, "R", [(1, 2), (2, 1)])
+        path = Database.from_rows(schema, "R", [(1, 2), (2, 3)])
+        assert is_consistent([egd], two_cycle)
+        assert not is_consistent([egd], path)
+
+    def test_self_path_violation(self):
+        # R(a, a) chains with itself: x=a, y=a, z=a satisfies x=z, so a
+        # single loop fact is fine; R(a,b),R(b,b) is a path a->b->b.
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        egd = example8_egds()["sigma2"]
+        egd.bind_schema(schema)
+        loop = Database.from_rows(schema, "R", [(5, 5)])
+        assert is_consistent([egd], loop)
+        chain = Database.from_rows(schema, "R", [(1, 2), (2, 2)])
+        assert not is_consistent([egd], chain)
+
+    def test_cross_relation_lowering(self):
+        schema = Schema.from_dict({"R": ["A", "B"], "S": ["A", "B"]})
+        egd = example8_egds()["sigma4"]  # R(x,y), S(y,z) -> x = z
+        egd.bind_schema(schema)
+        good = Database.from_facts(
+            schema, [Fact("R", (1, 2)), Fact("S", (2, 1))]
+        )
+        bad = Database.from_facts(
+            schema, [Fact("R", (1, 2)), Fact("S", (2, 3))]
+        )
+        assert is_consistent([egd], good)
+        assert not is_consistent([egd], bad)
+
+    def test_attributes_involved_with_schema(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        egd = example8_egds()["sigma1"]
+        egd.bind_schema(schema)
+        assert egd.attributes_involved() == {("R", "A"), ("R", "B")}

@@ -1,0 +1,78 @@
+"""Unit tests for constraint entailment and equivalence."""
+
+from repro.constraints import (
+    FunctionalDependency,
+    entails,
+    equivalent,
+    find_entailment_counterexample,
+    parse_dc,
+)
+from repro.relational import Database, Schema
+
+
+class TestFdEntailment:
+    def test_transitive(self):
+        strong = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"B"}, {"C"}),
+        ]
+        weak = [FunctionalDependency("R", {"A"}, {"C"})]
+        assert entails(strong, weak)
+        assert not entails(weak, strong)
+
+    def test_equivalent_fd_sets(self):
+        first = [FunctionalDependency("R", {"A"}, {"B", "C"})]
+        second = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"A"}, {"C"}),
+        ]
+        assert equivalent(first, second)
+
+
+class TestDcEntailment:
+    def test_predicate_superset_entails(self):
+        # Forbidding MORE specific patterns is weaker: ¬(A=A',B≠B') is
+        # entailed by ¬(A=A') since every witness of the former matches the
+        # latter's body... here: stronger body ⊆ weaker body.
+        weaker = parse_dc("not(t.A = t'.A, t.B != t'.B)", "R")
+        stronger = parse_dc("not(t.A = t'.A)", "R")
+        assert entails([stronger], [weaker])
+        assert not entails([weaker], [stronger])
+
+    def test_self_entailment(self):
+        dc = parse_dc("not(t.A = t'.A, t.B < t'.B)", "R")
+        assert entails([dc], [dc])
+
+    def test_unrelated_dcs_not_entailed(self):
+        first = parse_dc("not(t.A > t.B)", "R")
+        second = parse_dc("not(t.B > t.C)", "R")
+        assert not entails([first], [second])
+
+    def test_unary_entails_binary_weakening(self):
+        stronger = parse_dc("not(t.A > 5)", "R")
+        weaker = parse_dc("not(t.A > 5, t'.B > 0)", "R")
+        assert entails([stronger], [weaker])
+
+
+class TestCounterexampleSearch:
+    def test_finds_refuting_database(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        claimed_stronger = [FunctionalDependency("R", {"A"}, {"B"})]
+        claimed_weaker = [FunctionalDependency("R", {"B"}, {"A"})]
+        candidates = [
+            Database.from_rows(schema, "R", rows)
+            for rows in ([(1, 2), (3, 2)], [(1, 2), (1, 3)])
+        ]
+        witness = find_entailment_counterexample(
+            claimed_stronger, claimed_weaker, candidates
+        )
+        assert witness is not None
+        # The witness satisfies A->B but violates B->A.
+        assert witness.column("R", "B") == [2, 2]
+
+    def test_no_counterexample_for_true_entailment(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        strong = [FunctionalDependency("R", {"A"}, {"B"})]
+        weak = [FunctionalDependency("R", {"A"}, {"B"})]
+        candidates = [Database.from_rows(schema, "R", [(1, 2), (1, 3)])]
+        assert find_entailment_counterexample(strong, weak, candidates) is None

@@ -1,0 +1,118 @@
+"""Unit tests for functional dependencies and Armstrong closure."""
+
+import pytest
+
+from repro.constraints import (
+    FunctionalDependency,
+    attribute_closure,
+    fd_entails,
+    fd_set_entails,
+    fd_sets_equivalent,
+)
+
+
+class TestFunctionalDependency:
+    def test_str(self):
+        fd = FunctionalDependency("R", {"A", "B"}, {"C"})
+        assert str(fd) == "R: A B -> C"
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency("R", {"A"}, set())
+
+    def test_empty_lhs_allowed(self):
+        fd = FunctionalDependency("R", set(), {"A"})
+        assert "∅" in str(fd)
+
+    def test_trivial(self):
+        assert FunctionalDependency("R", {"A", "B"}, {"A"}).is_trivial()
+        assert not FunctionalDependency("R", {"A"}, {"B"}).is_trivial()
+
+    def test_decompose(self):
+        fd = FunctionalDependency("R", {"A"}, {"B", "C"})
+        parts = fd.decompose()
+        assert len(parts) == 2
+        assert all(len(part.rhs) == 1 for part in parts)
+
+    def test_equality_and_hash(self):
+        fd1 = FunctionalDependency("R", {"A"}, {"B"})
+        fd2 = FunctionalDependency("R", {"A"}, {"B"})
+        assert fd1 == fd2
+        assert len({fd1, fd2}) == 1
+
+    def test_attributes_involved(self):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        assert fd.attributes_involved() == {("R", "A"), ("R", "B")}
+
+
+class TestToDc:
+    def test_single_rhs_to_dc(self):
+        dc = FunctionalDependency("R", {"A"}, {"B"}).to_dc()
+        assert dc.width == 2
+        texts = [str(p) for p in dc.predicates]
+        assert "t[A] = t2[A]" in texts
+        assert "t[B] != t2[B]" in texts
+
+    def test_multi_rhs_to_dc_raises(self):
+        fd = FunctionalDependency("R", {"A"}, {"B", "C"})
+        with pytest.raises(ValueError, match="multi-attribute"):
+            fd.to_dc()
+
+    def test_to_dcs_one_per_rhs_attribute(self):
+        fd = FunctionalDependency("R", {"A"}, {"B", "C"})
+        assert len(fd.to_dcs()) == 2
+
+
+class TestClosure:
+    def test_reflexivity(self):
+        closure = attribute_closure({"A"}, [])
+        assert closure == frozenset({"A"})
+
+    def test_transitivity(self):
+        fds = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"B"}, {"C"}),
+        ]
+        assert attribute_closure({"A"}, fds) == frozenset({"A", "B", "C"})
+
+    def test_relation_filter(self):
+        fds = [FunctionalDependency("S", {"A"}, {"B"})]
+        assert attribute_closure({"A"}, fds, relation="R") == frozenset({"A"})
+
+    def test_composite_lhs(self):
+        fds = [FunctionalDependency("R", {"A", "B"}, {"C"})]
+        assert "C" not in attribute_closure({"A"}, fds)
+        assert "C" in attribute_closure({"A", "B"}, fds)
+
+
+class TestEntailment:
+    def test_entails_transitive_fd(self):
+        fds = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"B"}, {"C"}),
+        ]
+        assert fd_entails(fds, FunctionalDependency("R", {"A"}, {"C"}))
+
+    def test_does_not_entail_converse(self):
+        fds = [FunctionalDependency("R", {"A"}, {"B"})]
+        assert not fd_entails(fds, FunctionalDependency("R", {"B"}, {"A"}))
+
+    def test_set_entailment(self):
+        strong = [FunctionalDependency("R", {"A"}, {"B", "C"})]
+        weak = [FunctionalDependency("R", {"A"}, {"B"})]
+        assert fd_set_entails(strong, weak)
+        assert not fd_set_entails(weak, strong)
+
+    def test_equivalence_decomposed(self):
+        composite = [FunctionalDependency("R", {"A"}, {"B", "C"})]
+        split = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"A"}, {"C"}),
+        ]
+        assert fd_sets_equivalent(composite, split)
+
+    def test_nonequivalence(self):
+        assert not fd_sets_equivalent(
+            [FunctionalDependency("R", {"A"}, {"B"})],
+            [FunctionalDependency("R", {"B"}, {"C"})],
+        )

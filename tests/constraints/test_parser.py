@@ -1,0 +1,84 @@
+"""Unit tests for the textual constraint parsers."""
+
+import pytest
+
+from repro.constraints import ComparisonOp, parse_dc, parse_fd
+from repro.constraints.parser import ConstraintParseError
+
+
+class TestParseDc:
+    def test_two_tuple_dc(self):
+        dc = parse_dc("not(t.State = t'.State, t.Rate < t'.Rate)", "Tax")
+        assert dc.width == 2
+        assert len(dc.predicates) == 2
+        assert dc.predicates[1].op is ComparisonOp.LT
+
+    def test_unary_dc(self):
+        dc = parse_dc("not(t.High < t.Low)", "Stock")
+        assert dc.width == 1
+
+    def test_bracket_notation(self):
+        dc = parse_dc("¬(t[Country] = t'[Country], t[Continent] != t'[Continent])", "A")
+        assert dc.width == 2
+        assert str(dc.predicates[0].left) == "t[Country]"
+
+    def test_unicode_prime(self):
+        dc = parse_dc("¬(t[A] = t′[A])", "R")
+        assert dc.width == 2
+
+    def test_forall_prefix_stripped(self):
+        dc = parse_dc("forall t, t' not(t.A = t'.A)", "R")
+        assert dc.width == 2
+
+    def test_numeric_constant(self):
+        dc = parse_dc("not(t.Score > 100)", "R")
+        assert dc.predicates[0].right.constant == 100
+
+    def test_float_constant(self):
+        dc = parse_dc("not(t.Rate > 0.5)", "R")
+        assert dc.predicates[0].right.constant == 0.5
+
+    def test_string_constant(self):
+        dc = parse_dc("not(t.Status = 'Active')", "R")
+        assert dc.predicates[0].right.constant == "Active"
+
+    def test_t2_alias(self):
+        dc = parse_dc("not(t.A = t2.A)", "R")
+        assert dc.width == 2
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_dc("not()", "R")
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(ConstraintParseError, match="operator"):
+            parse_dc("not(t.A t.B)", "R")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_dc("not(q.A = t.A)", "R")
+
+
+class TestParseFd:
+    def test_with_relation(self):
+        fd = parse_fd("Airport: Municipality -> Continent Country")
+        assert fd.relation == "Airport"
+        assert fd.lhs == frozenset({"Municipality"})
+        assert fd.rhs == frozenset({"Continent", "Country"})
+
+    def test_without_relation_defaults(self):
+        fd = parse_fd("A B -> C")
+        assert fd.relation == "R"
+        assert fd.lhs == frozenset({"A", "B"})
+
+    def test_comma_separated_attributes(self):
+        fd = parse_fd("R: A,B -> C")
+        assert fd.lhs == frozenset({"A", "B"})
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ConstraintParseError, match="'->'"):
+            parse_fd("R: A B C")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ConstraintParseError, match="empty right"):
+            parse_fd("R: A ->")

@@ -1,0 +1,95 @@
+"""Tests for the dataset registry and the eight generators."""
+
+import pytest
+
+from repro.constraints.base import overlap_ratios
+from repro.datasets import DATASET_ORDER, DATASETS, generate_sample, get_dataset
+from repro.violations import is_consistent
+
+
+class TestRegistry:
+    def test_eight_datasets(self):
+        assert len(DATASETS) == 8
+        assert set(DATASET_ORDER) == set(DATASETS)
+
+    def test_case_insensitive_lookup(self):
+        assert get_dataset("tax").name == "Tax"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("Nope")
+
+    def test_figure3_attribute_counts(self):
+        expected = {
+            "Stock": 7,
+            "Hospital": 15,
+            "Food": 17,
+            "Airport": 9,
+            "Adult": 15,
+            "Flight": 20,
+            "Voter": 22,
+            "Tax": 15,
+        }
+        for name, count in expected.items():
+            assert get_dataset(name).num_attributes == count, name
+
+    def test_figure3_constraint_counts(self):
+        expected = {
+            "Stock": 6,
+            "Hospital": 7,
+            "Food": 6,
+            "Airport": 6,
+            "Adult": 3,
+            "Flight": 13,
+            "Voter": 5,
+            "Tax": 9,
+        }
+        for name, count in expected.items():
+            assert get_dataset(name).num_constraints == count, name
+
+    def test_paper_tuple_counts(self):
+        assert get_dataset("Tax").paper_tuples == 1_000_000
+        assert get_dataset("Voter").paper_tuples == 950_000
+
+    def test_sample_size_env(self, monkeypatch):
+        from repro.datasets.registry import default_sample_size
+
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        assert default_sample_size(1000) == 2000
+        monkeypatch.delenv("REPRO_SCALE")
+        assert default_sample_size(1000) == 1000
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+class TestGenerators:
+    def test_initially_consistent(self, name):
+        db, constraints = generate_sample(name, 150, seed=2)
+        assert len(db) == 150
+        assert is_consistent(constraints, db)
+
+    def test_deterministic(self, name):
+        db1, _ = generate_sample(name, 40, seed=9)
+        db2, _ = generate_sample(name, 40, seed=9)
+        assert db1 == db2
+
+    def test_seeds_differ(self, name):
+        db1, _ = generate_sample(name, 40, seed=1)
+        db2, _ = generate_sample(name, 40, seed=2)
+        assert db1 != db2
+
+    def test_arity_matches_spec(self, name):
+        spec = get_dataset(name)
+        db, _ = generate_sample(name, 10, seed=0)
+        for identifier in db.ids():
+            assert db[identifier].arity == spec.num_attributes
+
+    def test_constraints_have_names(self, name):
+        _, constraints = generate_sample(name, 10, seed=0)
+        names = [c.name for c in constraints]
+        assert len(set(names)) == len(names)
+
+    def test_overlap_ratios_well_formed(self, name):
+        constraints = get_dataset(name).make_constraints()
+        ratios = overlap_ratios(constraints)
+        assert len(ratios) == len(constraints)
+        assert all(0.0 <= r <= 1.0 for r in ratios)

@@ -1,0 +1,37 @@
+"""Cross-dataset integration: noise models × measures on every dataset."""
+
+import pytest
+
+from repro.datasets import DATASETS, generate_sample
+from repro.measures import make_measure
+from repro.noise import CONoise, RNoise
+from repro.violations import build_violation_index
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+class TestCONoisePerDataset:
+    def test_conoise_creates_measurable_inconsistency(self, name):
+        db, constraints = generate_sample(name, 100, seed=70)
+        CONoise(constraints, seed=71).run(db, 8)
+        index = build_violation_index(constraints, db)
+        assert not index.is_consistent(), name
+        lin = make_measure("I_lin_R").value(constraints, db, index)
+        exact = make_measure("I_R").value(constraints, db, index)
+        assert 0 < lin <= exact + 1e-9
+
+    def test_rnoise_respects_alpha(self, name):
+        db, constraints = generate_sample(name, 100, seed=72)
+        noise = RNoise(constraints, alpha=0.05, seed=73)
+        planned = noise.total_iterations(db)
+        before = [db[i] for i in db.ids()]
+        noise.run(db)
+        after = [db[i] for i in db.ids()]
+        changed = sum(1 for b, a in zip(before, after) if b != a)
+        # At most `planned` facts can change (each step touches one cell).
+        assert 0 < changed <= planned, name
+
+    def test_problematic_subset_of_ids(self, name):
+        db, constraints = generate_sample(name, 80, seed=74)
+        CONoise(constraints, seed=75).run(db, 5)
+        index = build_violation_index(constraints, db)
+        assert index.problematic <= set(db.ids()), name

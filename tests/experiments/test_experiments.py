@@ -1,0 +1,158 @@
+"""Tests for the experiment harnesses (behaviour, timing, scalability, Fig 3)."""
+
+import math
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.datasets import generate_sample
+from repro.experiments import (
+    format_series,
+    format_table,
+    run_behavior_experiment,
+    run_scalability_sweep,
+    sparkline,
+    summarize_all,
+    summarize_dataset,
+    time_measures,
+    time_under_increasing_noise,
+    violation_ratio,
+)
+from repro.measures import make_measures
+from repro.noise import CONoise, RNoise
+from repro.relational import Database, Schema
+
+
+@pytest.fixture
+def small_sample():
+    return generate_sample("Airport", 80, seed=4)
+
+
+class TestBehavior:
+    def test_series_shape(self, small_sample):
+        db, constraints = small_sample
+        noise = CONoise(constraints, seed=1)
+        measures = make_measures(["I_d", "I_MI", "I_lin_R"])
+        result = run_behavior_experiment(
+            db, constraints, noise, measures, iterations=10, measure_every=2
+        )
+        assert result.iterations == [0, 2, 4, 6, 8, 10]
+        for name in ("I_d", "I_MI", "I_lin_R"):
+            assert len(result.series[name]) == 6
+
+    def test_starts_at_zero(self, small_sample):
+        db, constraints = small_sample
+        noise = CONoise(constraints, seed=1)
+        result = run_behavior_experiment(
+            db, constraints, noise, make_measures(["I_MI"]), iterations=5
+        )
+        assert result.series["I_MI"][0] == 0.0
+
+    def test_drastic_is_step_function(self, small_sample):
+        db, constraints = small_sample
+        noise = CONoise(constraints, seed=2)
+        result = run_behavior_experiment(
+            db, constraints, noise, make_measures(["I_d"]), iterations=8
+        )
+        values = result.series["I_d"]
+        assert set(values) <= {0.0, 1.0}
+        assert values[-1] == 1.0
+
+    def test_normalized_in_unit_range(self, small_sample):
+        db, constraints = small_sample
+        noise = RNoise(constraints, alpha=0.2, seed=3)
+        result = run_behavior_experiment(
+            db, constraints, noise, make_measures(["I_MI", "I_P"]), iterations=10
+        )
+        for series in result.normalized().values():
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_violation_ratio_bounds(self, small_sample):
+        db, constraints = small_sample
+        CONoise(constraints, seed=5).run(db, 10)
+        ratio = violation_ratio(constraints, db)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_violation_ratio_empty(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        db = Database(schema)
+        assert violation_ratio([FunctionalDependency("R", {"A"}, {"B"})], db) == 0.0
+
+
+class TestTiming:
+    def test_time_measures_records_all(self, small_sample):
+        db, constraints = small_sample
+        CONoise(constraints, seed=6).run(db, 5)
+        measures = make_measures(["I_d", "I_MI", "I_R", "I_lin_R"])
+        row = time_measures(db, constraints, measures, dataset_name="Airport")
+        assert set(row.seconds) == {"I_d", "I_MI", "I_R", "I_lin_R"}
+        assert all(s >= 0 for s in row.seconds.values())
+        assert row.values["I_MI"] >= 0
+
+    def test_timeout_recorded(self, small_sample):
+        db, constraints = small_sample
+        CONoise(constraints, seed=6).run(db, 5)
+        measures = make_measures(["I_MI"])
+        row = time_measures(
+            db, constraints, measures, timeout_seconds=0.0
+        )
+        assert "I_MI" in row.timed_out
+
+    def test_error_rate_timing(self, small_sample):
+        db, constraints = small_sample
+        noise = RNoise(constraints, alpha=0.2, seed=7)
+        result = time_under_increasing_noise(
+            db,
+            constraints,
+            noise,
+            make_measures(["I_d", "I_lin_R"]),
+            iterations=6,
+            measure_every=3,
+        )
+        assert result.iterations == [0, 3, 6]
+        assert len(result.seconds["I_lin_R"]) == 3
+
+
+class TestScalability:
+    def test_sweep_and_exponent(self):
+        measures = make_measures(["I_MI"])
+        result = run_scalability_sweep(
+            "Stock", sizes=[50, 100, 200], measures=measures
+        )
+        assert result.sizes == [50, 100, 200]
+        assert len(result.seconds["I_MI"]) == 3
+        exponent = result.growth_exponent("I_MI")
+        assert math.isnan(exponent) or exponent > 0
+
+
+class TestOverlap:
+    def test_summary_fields(self):
+        summary = summarize_dataset("Tax")
+        assert summary.num_constraints == 9
+        assert 0.0 <= summary.overlap_min <= summary.overlap_avg <= summary.overlap_max <= 1.0
+        assert "State" in summary.example_constraint
+
+    def test_all_eight(self):
+        summaries = summarize_all()
+        assert len(summaries) == 8
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.34567], ["x", 3]])
+        assert "2.346" in text
+        assert text.splitlines()[1].startswith("-")
+
+    def test_format_series_subsamples(self):
+        iterations = list(range(100))
+        series = {"m": [float(i) for i in range(100)]}
+        text = format_series(iterations, series, max_points=5)
+        assert "99" in text  # last point always included
+
+    def test_format_series_empty(self):
+        assert "empty" in format_series([], {})
+
+    def test_sparkline(self):
+        assert len(sparkline([1, 2, 3])) == 3
+        assert sparkline([]) == ""
+        assert sparkline([5, 5]) == "▁▁"

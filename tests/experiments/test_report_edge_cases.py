@@ -1,0 +1,54 @@
+"""Additional edge cases for the reporting helpers."""
+
+from repro.experiments.report import format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule only
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["x"], [["a-very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len(row.rstrip())
+
+    def test_precision_respected(self):
+        text = format_table(["v"], [[1.23456789]], precision=5)
+        assert "1.23457" in text
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b", "c"], [[1, "s", 2.5]])
+        assert "1" in text and "s" in text and "2.500" in text
+
+
+class TestFormatSeries:
+    def test_single_point(self):
+        text = format_series([0], {"m": [1.0]})
+        assert "1.000" in text
+
+    def test_subsample_includes_endpoints(self):
+        text = format_series(list(range(50)), {"m": list(map(float, range(50)))})
+        assert text.splitlines()[2].startswith("0")
+        assert "49" in text
+
+    def test_multiple_series_aligned(self):
+        text = format_series([0, 1], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_negative_values(self):
+        line = sparkline([-2.0, 0.0, 2.0])
+        assert len(line) == 3
+        assert line[0] == "▁"
+
+    def test_single_value(self):
+        assert sparkline([42.0]) == "▁"

@@ -1,0 +1,85 @@
+"""Measure invariance under logical equivalence of constraints (Section 3).
+
+The second standard requirement on inconsistency measures:
+``I(Σ, D) = I(Σ', D)`` whenever ``Σ ≡ Σ'``.  We check it on several
+syntactically different but equivalent constraint sets.
+"""
+
+import pytest
+
+from repro.constraints import FunctionalDependency, fd_sets_equivalent, parse_dc
+from repro.measures import make_measure
+from repro.relational import Database, Schema
+
+MEASURES = ("I_d", "I_MI", "I_P", "I_MC", "I_R", "I_lin_R")
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B", "C"]})
+
+
+@pytest.fixture
+def noisy_db(schema):
+    return Database.from_rows(
+        schema,
+        "R",
+        [(1, "x", 0), (1, "y", 0), (1, "y", 1), (2, "z", 0), (2, "z", 5)],
+    )
+
+
+class TestFdEquivalence:
+    def test_composite_vs_decomposed_rhs(self, noisy_db):
+        composite = [FunctionalDependency("R", {"A"}, {"B", "C"})]
+        decomposed = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"A"}, {"C"}),
+        ]
+        assert fd_sets_equivalent(composite, decomposed)
+        for name in MEASURES:
+            measure = make_measure(name)
+            assert measure.value(composite, noisy_db) == pytest.approx(
+                measure.value(decomposed, noisy_db)
+            ), name
+
+    def test_redundant_fd_added(self, noisy_db):
+        base = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("R", {"B"}, {"C"}),
+        ]
+        with_redundant = base + [FunctionalDependency("R", {"A"}, {"C"})]
+        assert fd_sets_equivalent(base, with_redundant)
+        for name in MEASURES:
+            measure = make_measure(name)
+            assert measure.value(base, noisy_db) == pytest.approx(
+                measure.value(with_redundant, noisy_db)
+            ), name
+
+    def test_trivial_fd_added(self, noisy_db):
+        base = [FunctionalDependency("R", {"A"}, {"B"})]
+        with_trivial = base + [FunctionalDependency("R", {"A", "B"}, {"B"})]
+        for name in MEASURES:
+            measure = make_measure(name)
+            assert measure.value(base, noisy_db) == pytest.approx(
+                measure.value(with_trivial, noisy_db)
+            ), name
+
+
+class TestDcEquivalence:
+    def test_duplicate_dc_ignored(self, noisy_db):
+        dc = parse_dc("not(t.A = t'.A, t.B != t'.B)", "R")
+        dc_again = parse_dc("not(t.A = t'.A, t.B != t'.B)", "R")
+        for name in MEASURES:
+            measure = make_measure(name)
+            assert measure.value([dc], noisy_db) == pytest.approx(
+                measure.value([dc, dc_again], noisy_db)
+            ), name
+
+    def test_fd_vs_dc_formulation(self, noisy_db):
+        fd = [FunctionalDependency("R", {"A"}, {"B"})]
+        dc = [parse_dc("not(t.A = t'.A, t.B != t'.B)", "R")]
+        for name in MEASURES:
+            measure = make_measure(name)
+            assert measure.value(fd, noisy_db) == pytest.approx(
+                measure.value(dc, noisy_db)
+            ), name

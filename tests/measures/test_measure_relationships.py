@@ -1,0 +1,52 @@
+"""Cross-measure relationships the paper states or implies.
+
+* ``I_d ≤ I_MI`` pointwise (any violation makes both positive; I_MI counts);
+* ``I_R ≤ I_P`` for anti-monotonic constraints (deleting all problematic
+  facts is a repair);
+* ``I_MI ≥ I_P / width`` (each MI set covers at most *width* facts);
+* ``I_R ≤ I_MI`` (hitting each MI set with one fact suffices);
+* ``I_lin_R ≥ I_MI / (width choose 2)``-style bounds are not asserted —
+  only the sound ones above are.
+"""
+
+import pytest
+
+from repro.datasets import generate_sample
+from repro.measures import make_measure
+from repro.noise import CONoise, RNoise
+from repro.violations import build_violation_index
+
+
+def make_cases():
+    cases = []
+    for dataset, seed in (("Hospital", 1), ("Airport", 2), ("Tax", 3), ("Stock", 4)):
+        db, constraints = generate_sample(dataset, 90, seed=seed)
+        CONoise(constraints, seed=seed).run(db, 6)
+        cases.append((dataset + "+CONoise", constraints, db))
+        db2, constraints2 = generate_sample(dataset, 90, seed=seed + 10)
+        RNoise(constraints2, alpha=0.1, seed=seed).run(db2)
+        cases.append((dataset + "+RNoise", constraints2, db2))
+    return cases
+
+
+CASES = make_cases()
+
+
+@pytest.mark.parametrize("label,constraints,db", CASES, ids=[c[0] for c in CASES])
+def test_measure_inequalities(label, constraints, db):
+    index = build_violation_index(constraints, db)
+    drastic = make_measure("I_d").value(constraints, db, index)
+    mi = make_measure("I_MI").value(constraints, db, index)
+    problematic = make_measure("I_P").value(constraints, db, index)
+    exact = make_measure("I_R").value(constraints, db, index)
+    lin = make_measure("I_lin_R").value(constraints, db, index)
+    width = max(index.max_width, 1)
+
+    assert drastic <= mi
+    assert exact <= problematic + 1e-9
+    assert exact <= mi + 1e-9
+    assert mi >= problematic / width - 1e-9
+    assert lin <= exact + 1e-9
+    assert exact <= width * lin + 1e-9
+    # Problematic facts bound the database size.
+    assert problematic <= len(db)

@@ -1,0 +1,131 @@
+"""Unit tests for the individual inconsistency measures."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency, parse_dc
+from repro.measures import (
+    DrasticMeasure,
+    LinearRelaxationMeasure,
+    MaximalConsistentMeasure,
+    MaximalConsistentPrimeMeasure,
+    MinimalInconsistentMeasure,
+    MinimumRepairMeasure,
+    ProblematicFactsMeasure,
+    normalize_series,
+)
+from repro.relational import Database, Schema
+from repro.violations import build_violation_index
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B"]})
+
+
+@pytest.fixture
+def fd():
+    return FunctionalDependency("R", {"A"}, {"B"})
+
+
+def db_of(schema, rows):
+    return Database.from_rows(schema, "R", rows)
+
+
+class TestDrastic:
+    def test_zero_on_consistent(self, schema, fd):
+        assert DrasticMeasure().value([fd], db_of(schema, [(1, "x")])) == 0.0
+
+    def test_one_on_inconsistent(self, schema, fd):
+        assert (
+            DrasticMeasure().value([fd], db_of(schema, [(1, "x"), (1, "y")])) == 1.0
+        )
+
+    def test_uses_precomputed_index(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y")])
+        index = build_violation_index([fd], db)
+        assert DrasticMeasure().value([fd], db, index) == 1.0
+
+
+class TestMiAndProblematic:
+    def test_counts_pairs(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y"), (1, "z")])
+        assert MinimalInconsistentMeasure().value([fd], db) == 3.0
+        assert ProblematicFactsMeasure().value([fd], db) == 3.0
+
+    def test_disjoint_groups(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y"), (2, "a"), (2, "b")])
+        assert MinimalInconsistentMeasure().value([fd], db) == 2.0
+        assert ProblematicFactsMeasure().value([fd], db) == 4.0
+
+    def test_problematic_ignores_clean_facts(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y"), (9, "q")])
+        assert ProblematicFactsMeasure().value([fd], db) == 2.0
+
+
+class TestMaximalConsistent:
+    def test_consistent_is_zero(self, schema, fd):
+        assert MaximalConsistentMeasure().value([fd], db_of(schema, [(1, "x")])) == 0.0
+
+    def test_one_conflict_two_mcs(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y")])
+        assert MaximalConsistentMeasure().value([fd], db) == 1.0
+
+    def test_self_inconsistent_excluded(self, schema):
+        dc = parse_dc("not(t.A > 5)", "R")
+        db = db_of(schema, [(10, "x"), (1, "y")])
+        # MCS family = {{f1}} -> I_MC = 0; I'_MC = 0 + 1 self-inconsistency.
+        assert MaximalConsistentMeasure().value([dc], db) == 0.0
+        assert MaximalConsistentPrimeMeasure().value([dc], db) == 1.0
+
+    def test_prime_equals_plain_for_fds(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y"), (2, "z")])
+        plain = MaximalConsistentMeasure().value([fd], db)
+        prime = MaximalConsistentPrimeMeasure().value([fd], db)
+        assert plain == prime
+
+    def test_hypergraph_conflicts(self):
+        from repro.properties.counterexamples import at_most_k_dc
+
+        schema = Schema.from_dict({"R": ["Id"]})
+        db = Database.from_rows(schema, "R", [(1,), (2,), (3,)])
+        dc = at_most_k_dc(2)
+        # MCS = all 2-subsets: 3 of them.
+        assert MaximalConsistentMeasure().value([dc], db) == 2.0
+
+    def test_enumeration_budget(self, schema, fd):
+        rows = [(g, f"v{i}") for g in range(4) for i in range(4)]
+        db = db_of(schema, rows)
+        measure = MaximalConsistentMeasure(enumeration_limit=3)
+        from repro.solvers.cliques import EnumerationBudgetExceeded
+
+        with pytest.raises(EnumerationBudgetExceeded):
+            measure.value([fd], db)
+
+
+class TestRepairMeasures:
+    def test_ir_equals_min_vertex_cover(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y"), (1, "z")])
+        assert MinimumRepairMeasure().value([fd], db) == 2.0
+
+    def test_lin_r_lower_bound(self, schema, fd):
+        db = db_of(schema, [(1, "x"), (1, "y"), (1, "z")])
+        lin = LinearRelaxationMeasure().value([fd], db)
+        exact = MinimumRepairMeasure().value([fd], db)
+        assert lin == pytest.approx(1.5)
+        assert lin <= exact
+
+    def test_repair_aware_flags(self):
+        assert MinimumRepairMeasure().repair_aware
+        assert LinearRelaxationMeasure().repair_aware
+        assert not DrasticMeasure().repair_aware
+
+
+class TestNormalize:
+    def test_scales_to_unit(self):
+        assert normalize_series([0, 2, 4]) == [0.0, 0.5, 1.0]
+
+    def test_all_zero(self):
+        assert normalize_series([0, 0]) == [0.0, 0.0]
+
+    def test_empty(self):
+        assert normalize_series([]) == []

@@ -1,0 +1,43 @@
+"""Unit tests for the measure registry."""
+
+import pytest
+
+from repro.measures import (
+    FIGURE_MEASURES,
+    TABLE2_MEASURES,
+    available_measures,
+    make_measure,
+    make_measures,
+)
+
+
+def test_all_names_construct():
+    for name in available_measures():
+        measure = make_measure(name)
+        assert measure.name == name
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown measure"):
+        make_measure("I_nope")
+
+
+def test_make_measures_batch():
+    measures = make_measures(["I_d", "I_MI"])
+    assert [m.name for m in measures] == ["I_d", "I_MI"]
+
+
+def test_figure_measures_subset_of_registry():
+    assert set(FIGURE_MEASURES) <= set(available_measures())
+
+
+def test_table2_measures_subset_of_registry():
+    assert set(TABLE2_MEASURES) <= set(available_measures())
+
+
+def test_top_level_measure_helper():
+    from repro import Database, Schema, measure, parse_fd
+
+    schema = Schema.from_dict({"R": ["City", "Country"]})
+    db = Database.from_rows(schema, "R", [("Paris", "FR"), ("Paris", "DE")])
+    assert measure("I_MI", [parse_fd("R: City -> Country")], db) == 1.0

@@ -1,0 +1,110 @@
+"""Tests for Shapley values of inconsistency."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.measures import (
+    make_measure,
+    rank_facts_by_blame,
+    shapley_values_exact,
+    shapley_values_mi,
+    shapley_values_sampled,
+)
+from repro.relational import Database, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B"]})
+
+
+@pytest.fixture
+def fd():
+    return FunctionalDependency("R", {"A"}, {"B"})
+
+
+class TestExact:
+    def test_efficiency_axiom(self, schema, fd):
+        # Shapley values sum to I(Σ, D).
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (2, "z")])
+        for name in ("I_MI", "I_R", "I_lin_R"):
+            measure = make_measure(name)
+            values = shapley_values_exact(measure, [fd], db)
+            assert sum(values.values()) == pytest.approx(
+                measure.value([fd], db)
+            ), name
+
+    def test_symmetry_axiom(self, schema, fd):
+        # The two facts of one conflict are interchangeable.
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        values = shapley_values_exact(make_measure("I_MI"), [fd], db)
+        assert values[0] == pytest.approx(values[1])
+
+    def test_null_player_axiom(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (9, "q")])
+        values = shapley_values_exact(make_measure("I_MI"), [fd], db)
+        assert values[2] == pytest.approx(0.0)
+
+    def test_star_blames_the_hub(self, schema, fd):
+        # One fact conflicting with three others carries the most blame.
+        db = Database.from_rows(
+            schema, "R", [(1, "hub"), (1, "a"), (1, "a"), (1, "a")]
+        )
+        values = shapley_values_exact(make_measure("I_R"), [fd], db)
+        assert values[0] == max(values.values())
+
+    def test_size_guard(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(i, "x") for i in range(15)])
+        with pytest.raises(ValueError, match="limited"):
+            shapley_values_exact(make_measure("I_MI"), [fd], db, max_facts=12)
+
+
+class TestClosedForm:
+    def test_matches_exact_for_imi(self, schema, fd):
+        db = Database.from_rows(
+            schema, "R", [(1, "x"), (1, "y"), (1, "z"), (2, "p"), (2, "q")]
+        )
+        closed = shapley_values_mi([fd], db)
+        exact = shapley_values_exact(make_measure("I_MI"), [fd], db)
+        for identifier in db.ids():
+            assert closed[identifier] == pytest.approx(exact[identifier])
+
+    def test_share_per_mi_set(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        closed = shapley_values_mi([fd], db)
+        assert closed == {0: 0.5, 1: 0.5}
+
+
+class TestSampled:
+    def test_unbiased_on_small_instance(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (1, "z")])
+        measure = make_measure("I_MI")
+        sampled = shapley_values_sampled(measure, [fd], db, samples=400, seed=1)
+        exact = shapley_values_exact(measure, [fd], db)
+        for identifier in db.ids():
+            assert sampled[identifier] == pytest.approx(
+                exact[identifier], abs=0.15
+            )
+
+    def test_efficiency_holds_exactly_per_sample(self, schema, fd):
+        # Permutation sampling telescopes: the sum is exactly I(D).
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (2, "z")])
+        measure = make_measure("I_MI")
+        sampled = shapley_values_sampled(measure, [fd], db, samples=5, seed=2)
+        assert sum(sampled.values()) == pytest.approx(measure.value([fd], db))
+
+
+class TestRanking:
+    def test_rank_uses_closed_form_for_imi(self, schema, fd):
+        db = Database.from_rows(
+            schema, "R", [(1, "hub"), (1, "a"), (1, "a"), (9, "clean")]
+        )
+        ranked = rank_facts_by_blame(make_measure("I_MI"), [fd], db)
+        assert ranked[0][0] == 0  # the hub
+        assert ranked[-1][1] == 0.0  # the clean fact
+
+    def test_rank_with_repair_measure(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        ranked = rank_facts_by_blame(make_measure("I_R"), [fd], db)
+        assert len(ranked) == 2
+        assert ranked[0][1] == pytest.approx(0.5)

@@ -1,0 +1,48 @@
+"""Integration: soft repairs against the incremental-cleaning scenario.
+
+The soft semantics models the HoloClean setting (§6.2.2: "HoloClean uses
+soft constraints; hence, it does not necessarily eliminate all violations"):
+rules that are expensive to enforce relative to their weight stay violated.
+"""
+
+import pytest
+
+from repro.datasets import generate_sample
+from repro.noise import CONoise
+from repro.repairs import minimum_subset_repair
+from repro.repairs.soft import HARD, minimum_soft_repair
+
+
+@pytest.fixture(scope="module")
+def noisy_hospital():
+    db, constraints = generate_sample("Hospital", 100, seed=80)
+    CONoise(constraints, seed=81).run(db, 10)
+    return db, constraints
+
+
+class TestSoftVsHard:
+    def test_soft_never_exceeds_hard(self, noisy_hospital):
+        db, constraints = noisy_hospital
+        hard_cost = minimum_subset_repair(constraints, db).cost
+        weights = [2.0] * len(constraints)
+        soft = minimum_soft_repair(constraints, weights, db)
+        assert soft.cost <= hard_cost + 1e-9
+
+    def test_all_hard_weights_equal_ir(self, noisy_hospital):
+        db, constraints = noisy_hospital
+        hard_cost = minimum_subset_repair(constraints, db).cost
+        soft = minimum_soft_repair(constraints, [HARD] * len(constraints), db)
+        assert soft.cost == pytest.approx(hard_cost)
+        assert soft.given_up == []
+
+    def test_zero_weights_give_up_everything_violated(self, noisy_hospital):
+        db, constraints = noisy_hospital
+        soft = minimum_soft_repair(constraints, [0.0] * len(constraints), db)
+        assert soft.cost == pytest.approx(0.0)
+        assert soft.deleted_ids == set()
+
+    def test_soft_cost_monotone_in_weights(self, noisy_hospital):
+        db, constraints = noisy_hospital
+        cheap = minimum_soft_repair(constraints, [0.5] * len(constraints), db)
+        pricey = minimum_soft_repair(constraints, [3.0] * len(constraints), db)
+        assert cheap.cost <= pricey.cost + 1e-9

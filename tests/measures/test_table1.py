@@ -1,0 +1,79 @@
+"""Integration test: every cell of Table 1 on the running example."""
+
+import pytest
+
+from repro.datasets.example1 import (
+    TABLE1_EXPECTED,
+    TABLE1_UPDATE_ATTRIBUTES,
+    airport_constraints,
+    clean_database,
+    noisy_database_d1,
+    noisy_database_d2,
+)
+from repro.measures import make_measure
+from repro.measures.minimal_repair import MinimumUpdateRepairMeasure
+from repro.violations import build_violation_index
+
+
+@pytest.fixture(scope="module")
+def example():
+    constraints = airport_constraints()
+    databases = {"D1": noisy_database_d1(), "D2": noisy_database_d2()}
+    indexes = {
+        name: build_violation_index(constraints, db)
+        for name, db in databases.items()
+    }
+    return constraints, databases, indexes
+
+
+@pytest.mark.parametrize(
+    "measure_name,db_name",
+    sorted((m, d) for (m, d) in TABLE1_EXPECTED if m != "I_R_upd"),
+)
+def test_table1_cell(example, measure_name, db_name):
+    constraints, databases, indexes = example
+    measure = make_measure(measure_name)
+    value = measure.value(constraints, databases[db_name], indexes[db_name])
+    assert value == pytest.approx(TABLE1_EXPECTED[(measure_name, db_name)])
+
+
+@pytest.mark.parametrize("db_name", ["D1", "D2"])
+def test_table1_update_repair(example, db_name):
+    constraints, databases, _ = example
+    measure = MinimumUpdateRepairMeasure(
+        updatable_attributes=TABLE1_UPDATE_ATTRIBUTES
+    )
+    value = measure.value(constraints, databases[db_name])
+    assert value == pytest.approx(TABLE1_EXPECTED[("I_R_upd", db_name)])
+
+
+def test_clean_database_all_zero(example):
+    constraints, _, _ = example
+    d0 = clean_database()
+    for name in ("I_d", "I_MI", "I_P", "I_MC", "I'_MC", "I_R", "I_lin_R"):
+        assert make_measure(name).value(constraints, d0) == 0.0
+
+
+def test_table1_mi_sets_match_example4(example):
+    constraints, databases, indexes = example
+    # D1: all six pairs of {f2..f5} plus {f1, f5}  (ids 1..4 and {0, 4}).
+    d1_sets = {tuple(sorted(s)) for s in indexes["D1"].mi_sets}
+    expected_d1 = {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (0, 4)}
+    assert d1_sets == expected_d1
+    # D2 (Table 1): {f2,f3},{f2,f4},{f2,f5},{f3,f4},{f4,f5}.
+    d2_sets = {tuple(sorted(s)) for s in indexes["D2"].mi_sets}
+    expected_d2 = {(1, 2), (1, 3), (1, 4), (2, 3), (3, 4)}
+    assert d2_sets == expected_d2
+
+
+def test_example9_lp_assignment(example):
+    """Example 9: assigning 0.5 everywhere is optimal for D1."""
+    constraints, databases, indexes = example
+    from repro.measures import LinearRelaxationMeasure
+
+    measure = LinearRelaxationMeasure()
+    x = measure.assignment(constraints, databases["D1"], indexes["D1"])
+    assert sum(x.values()) == pytest.approx(2.5)
+    # Every MI pair is covered fractionally.
+    for group in indexes["D1"].mi_sets:
+        assert sum(x[i] for i in group) >= 1 - 1e-9

@@ -1,0 +1,136 @@
+"""Tests for the CONoise and RNoise generators and typo maker."""
+
+import random
+
+import pytest
+
+from repro.constraints import FunctionalDependency, parse_dc
+from repro.noise import CONoise, RNoise, make_typo
+from repro.relational import Database, Schema
+from repro.violations import build_violation_index, is_consistent
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B", "C"]})
+
+
+@pytest.fixture
+def consistent_db(schema):
+    return Database.from_rows(
+        schema,
+        "R",
+        [(group, f"val{group}", group * 10) for group in range(8) for _ in range(4)],
+    )
+
+
+class TestTypos:
+    def test_string_typo_differs(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert make_typo("Key West", rng) != "Key West"
+
+    def test_int_typo_differs(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            value = make_typo(42, rng)
+            assert value != 42
+            assert isinstance(value, int)
+
+    def test_float_typo_differs(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            assert make_typo(2.5, rng) != 2.5
+
+    def test_empty_string(self):
+        rng = random.Random(3)
+        assert make_typo("", rng) != ""
+
+    def test_bool_flips(self):
+        rng = random.Random(4)
+        assert make_typo(True, rng) is False
+
+
+class TestCONoise:
+    def test_introduces_violations(self, consistent_db):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        assert is_consistent([fd], consistent_db)
+        noise = CONoise([fd], seed=7)
+        noise.run(consistent_db, 5)
+        assert not is_consistent([fd], consistent_db)
+
+    def test_deterministic_under_seed(self, schema):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        results = []
+        for _ in range(2):
+            db = Database.from_rows(
+                schema, "R", [(g, f"v{g}", 0) for g in range(6) for _ in range(3)]
+            )
+            CONoise([fd], seed=123).run(db, 10)
+            results.append([db[i] for i in db.ids()])
+        assert results[0] == results[1]
+
+    def test_unary_inequality_dc(self, schema):
+        dc = parse_dc("not(t.A > t.C)", "R")
+        db = Database.from_rows(schema, "R", [(1, "x", 100), (2, "y", 100)])
+        noise = CONoise([dc], seed=11)
+        noise.run(db, 20)
+        index = build_violation_index([dc], db)
+        assert index.mi_sets  # at least one violation forced
+
+    def test_empty_database_noop(self, schema):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        db = Database(schema)
+        CONoise([fd], seed=1).run(db, 3)
+        assert len(db) == 0
+
+
+class TestRNoise:
+    def test_parameter_validation(self):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        with pytest.raises(ValueError):
+            RNoise([fd], alpha=0.0)
+        with pytest.raises(ValueError):
+            RNoise([fd], beta=-1)
+        with pytest.raises(ValueError):
+            RNoise([fd], typo_probability=2.0)
+
+    def test_total_iterations_scales_with_alpha(self, consistent_db):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        small = RNoise([fd], alpha=0.01).total_iterations(consistent_db)
+        large = RNoise([fd], alpha=0.1).total_iterations(consistent_db)
+        assert large > small
+
+    def test_only_constrained_attributes_touched(self, consistent_db):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        before_c = consistent_db.column("R", "C")
+        noise = RNoise([fd], alpha=0.5, seed=3)
+        noise.run(consistent_db)
+        assert consistent_db.column("R", "C") == before_c
+
+    def test_modifies_cells(self, consistent_db):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        before = [consistent_db[i] for i in consistent_db.ids()]
+        RNoise([fd], alpha=0.5, seed=3).run(consistent_db)
+        after = [consistent_db[i] for i in consistent_db.ids()]
+        assert before != after
+
+    def test_zipf_skew_prefers_frequent(self, schema):
+        # With huge beta, the replacement sampler concentrates on the most
+        # frequent value of the column (other than the current one).
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        rows = [(1, "common", 0)] * 30 + [(2, "rare%d" % i, 0) for i in range(5)]
+        db = Database.from_rows(schema, "R", rows)
+        noise = RNoise([fd], alpha=0.9, beta=8.0, typo_probability=0.0, seed=9)
+        samples = [
+            noise._zipf_value(db, "R", "B", "rare0") for _ in range(60)
+        ]
+        assert samples.count("common") >= 55
+
+    def test_beta_zero_is_uniform_choice(self, schema):
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        rows = [(1, "a", 0)] * 10 + [(1, "b", 0), (1, "c", 0)]
+        db = Database.from_rows(schema, "R", rows)
+        noise = RNoise([fd], alpha=0.5, beta=0.0, typo_probability=0.0, seed=2)
+        samples = {noise._zipf_value(db, "R", "B", "a") for _ in range(80)}
+        assert samples == {"b", "c"}

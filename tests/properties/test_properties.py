@@ -1,0 +1,181 @@
+"""Tests for the property checkers and all paper counterexamples (Table 2)."""
+
+import pytest
+
+from repro.measures import make_measure
+from repro.properties import (
+    TABLE2_DC,
+    TABLE2_FD,
+    Property,
+    best_improvement,
+    check_monotonicity,
+    check_positivity,
+    check_progression,
+    continuity_ratio,
+    counterexamples as cx,
+)
+from repro.repairs import DeleteOperation, subset_system, update_system
+from repro.violations import is_consistent
+
+
+class TestPositivity:
+    @pytest.mark.parametrize("name", ["I_d", "I_MI", "I_P", "I'_MC", "I_R", "I_lin_R"])
+    def test_satisfied_on_fd_example(self, name, airport_example):
+        constraints, _, d1, _ = airport_example
+        assert check_positivity(make_measure(name), constraints, d1) is None
+
+    def test_imc_violates_for_dcs(self):
+        constraints, db = cx.imc_positivity_dc()
+        violation = check_positivity(make_measure("I_MC"), constraints, db)
+        assert violation is not None
+        assert violation.property_name == "positivity"
+
+    def test_imc_prime_repairs_the_violation(self):
+        constraints, db = cx.imc_positivity_dc()
+        assert check_positivity(make_measure("I'_MC"), constraints, db) is None
+
+    def test_consistent_database_vacuous(self, airport_example):
+        constraints, d0, _, _ = airport_example
+        assert check_positivity(make_measure("I_MC"), constraints, d0) is None
+
+
+class TestMonotonicity:
+    def test_proposition1_imi(self):
+        weaker, stronger, db = cx.imi_monotonicity_dc()
+        violation = check_monotonicity(make_measure("I_MI"), weaker, stronger, db)
+        assert violation is not None
+
+    def test_proposition1_ip(self):
+        sigma1, sigma12, db, _ = cx.ip_monotonicity_dc()
+        violation = check_monotonicity(make_measure("I_P"), sigma1, sigma12, db)
+        assert violation is not None
+
+    def test_proposition2_imc(self):
+        sigma1, sigma2, db = cx.imc_monotonicity_fd()
+        imc = make_measure("I_MC")
+        assert imc.value(sigma1, db) == 3.0
+        assert imc.value(sigma2, db) == 1.0
+        assert check_monotonicity(imc, sigma1, sigma2, db) is not None
+
+    @pytest.mark.parametrize("name", ["I_d", "I_R", "I_lin_R"])
+    def test_satisfied_by_rational_measures_on_prop2_input(self, name):
+        sigma1, sigma2, db = cx.imc_monotonicity_fd()
+        assert check_monotonicity(make_measure(name), sigma1, sigma2, db) is None
+
+    @pytest.mark.parametrize("name", ["I_MI", "I_P"])
+    def test_fd_monotonicity_holds(self, name):
+        # For FDs (Table 2) I_MI and I_P are monotone; Prop 2's input is FDs.
+        sigma1, sigma2, db = cx.imc_monotonicity_fd()
+        assert check_monotonicity(make_measure(name), sigma1, sigma2, db) is None
+
+
+class TestProgression:
+    @pytest.mark.parametrize("name", ["I_MI", "I_P", "I_R", "I_lin_R"])
+    def test_satisfied_under_deletions(self, name, airport_example):
+        constraints, _, d1, _ = airport_example
+        assert check_progression(make_measure(name), constraints, d1) is None
+
+    def test_drastic_violates(self, airport_example):
+        constraints, _, d1, _ = airport_example
+        violation = check_progression(make_measure("I_d"), constraints, d1)
+        assert violation is not None
+
+    def test_example7_imc_stuck(self):
+        constraints, db = cx.imc_progression_fd()
+        violation = check_progression(make_measure("I_MC"), constraints, db)
+        assert violation is not None
+
+    def test_example10_updates_stall_imi(self):
+        constraints, db = cx.update_progression_mi()
+        system = update_system()
+        for name in ("I_MI", "I_P"):
+            violation = check_progression(
+                make_measure(name), constraints, db, system
+            )
+            assert violation is not None, name
+
+    def test_example10_deletion_still_progresses(self):
+        constraints, db = cx.update_progression_mi()
+        assert (
+            check_progression(make_measure("I_MI"), constraints, db, subset_system())
+            is None
+        )
+
+    def test_ir_progresses_under_updates(self):
+        constraints, db = cx.update_progression_mi()
+        assert (
+            check_progression(
+                make_measure("I_R_upd"), constraints, db, update_system()
+            )
+            is None
+        )
+
+
+class TestContinuity:
+    def test_proposition4_ratio_grows(self):
+        ratios = []
+        for n in (3, 6):
+            constraints, db, f0 = cx.continuity_family(n)
+            operation = DeleteOperation(f0)
+            after = operation.apply(db)
+            ratio = continuity_ratio(
+                make_measure("I_MI"), constraints, (db, operation), after
+            )
+            ratios.append(ratio)
+        assert ratios[0] == pytest.approx(3.0)
+        assert ratios[1] == pytest.approx(6.0)
+        assert ratios[1] > ratios[0]
+
+    def test_proposition4_ip_ratio(self):
+        constraints, db, f0 = cx.continuity_family(4)
+        operation = DeleteOperation(f0)
+        ratio = continuity_ratio(
+            make_measure("I_P"), constraints, (db, operation), operation.apply(db)
+        )
+        assert ratio == pytest.approx((4 + 1) / 2)
+
+    def test_ir_ratio_bounded_by_one(self):
+        constraints, db, f0 = cx.continuity_family(5)
+        operation = DeleteOperation(f0)
+        ratio = continuity_ratio(
+            make_measure("I_R"), constraints, (db, operation), operation.apply(db)
+        )
+        assert ratio <= 1.0 + 1e-9
+
+    def test_best_improvement_finds_f0(self):
+        constraints, db, f0 = cx.continuity_family(4)
+        delta, operation = best_improvement(make_measure("I_MI"), constraints, db)
+        assert delta == pytest.approx(4.0)
+        assert operation == DeleteOperation(f0)
+
+
+class TestExample11:
+    def test_no_single_update_decreases_violations(self):
+        constraints, db = cx.update_progression_violations()
+        imi = make_measure("I_MI")
+        system = update_system()
+        violation = check_progression(imi, constraints, db, system)
+        assert violation is not None
+
+    def test_database_shape(self):
+        constraints, db = cx.update_progression_violations()
+        assert not is_consistent(constraints, db)
+        assert len(db) == 4
+
+
+class TestTable2Data:
+    def test_ilinr_satisfies_everything(self):
+        for table in (TABLE2_FD, TABLE2_DC):
+            assert all(table["I_lin_R"].values())
+
+    def test_ir_all_but_ptime(self):
+        for table in (TABLE2_FD, TABLE2_DC):
+            row = table["I_R"]
+            assert row[Property.PTIME] is False
+            assert all(v for k, v in row.items() if k is not Property.PTIME)
+
+    def test_dc_column_weaker_than_fd(self):
+        # Moving from FDs to DCs can only lose properties, never gain.
+        for name, fd_row in TABLE2_FD.items():
+            for prop, fd_value in fd_row.items():
+                assert TABLE2_DC[name][prop] <= fd_value

@@ -1,0 +1,73 @@
+"""Tests for the weighted continuity checker and Theorem 2's guarantee."""
+
+import pytest
+
+from repro.measures import make_measure
+from repro.properties import counterexamples as cx
+from repro.properties.checker import weighted_continuity_ratio
+from repro.repairs import DeleteOperation, subset_system, table_cost
+from repro.relational import Database, Schema
+from repro.constraints import FunctionalDependency
+
+
+class TestWeightedContinuity:
+    def test_ilinr_ratio_bounded_by_mi_width(self):
+        # Theorem 2: I_lin_R satisfies δ-weighted-continuity with δ = d_Σ
+        # (the max atoms per DC; 2 for FDs).
+        constraints, db, f0 = cx.continuity_family(5)
+        operation = DeleteOperation(f0)
+        ratio = weighted_continuity_ratio(
+            make_measure("I_lin_R"),
+            constraints,
+            (db, operation),
+            operation.apply(db),
+        )
+        assert ratio <= 2.0 + 1e-9
+
+    def test_imi_ratio_unbounded(self):
+        ratios = []
+        for n in (3, 6):
+            constraints, db, f0 = cx.continuity_family(n)
+            operation = DeleteOperation(f0)
+            ratios.append(
+                weighted_continuity_ratio(
+                    make_measure("I_MI"),
+                    constraints,
+                    (db, operation),
+                    operation.apply(db),
+                )
+            )
+        assert ratios[1] > ratios[0]
+        assert ratios[1] == pytest.approx(6.0)
+
+    def test_costs_enter_the_ratio(self):
+        # Same instance, but the impactful operation is expensive: its
+        # per-cost delta shrinks, so the weighted ratio drops.
+        constraints, db, f0 = cx.continuity_family(4)
+        operation = DeleteOperation(f0)
+        after = operation.apply(db)
+        cheap = weighted_continuity_ratio(
+            make_measure("I_MI"), constraints, (db, operation), after
+        )
+        expensive_system = subset_system(cost=table_cost({f0: 8.0}))
+        weighted = weighted_continuity_ratio(
+            make_measure("I_MI"),
+            constraints,
+            (db, operation),
+            after,
+            system=expensive_system,
+        )
+        assert weighted < cheap
+
+    def test_consistent_target_gives_inf_or_one(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        dirty = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        clean = Database.from_rows(schema, "R", [(1, "x")])
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        ratio = weighted_continuity_ratio(
+            make_measure("I_MI"),
+            [fd],
+            (dirty, DeleteOperation(0)),
+            clean,
+        )
+        assert ratio == float("inf")

@@ -1,0 +1,48 @@
+"""Unit tests for CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.relational import Schema
+from repro.relational.csvio import dump_csv, load_csv, read_csv, write_csv
+
+
+def test_read_roundtrip():
+    text = "A,B,C\n1,hello,2.5\n,world,3\n"
+    db = read_csv(io.StringIO(text), "R")
+    assert len(db) == 2
+    assert db.get_cell(0, "A") == 1
+    assert db.get_cell(1, "A") is None
+    assert db.get_cell(0, "C") == 2.5
+
+    out = io.StringIO()
+    write_csv(db, "R", out)
+    assert out.getvalue().replace("\r\n", "\n") == text
+
+
+def test_read_with_declared_schema():
+    schema = Schema.from_dict({"R": ["A", "B"]})
+    db = read_csv(io.StringIO("A,B\n1,2\n"), "R", schema=schema)
+    assert db.schema is schema
+
+
+def test_header_mismatch_rejected():
+    schema = Schema.from_dict({"R": ["A", "B"]})
+    with pytest.raises(ValueError, match="does not match"):
+        read_csv(io.StringIO("X,Y\n1,2\n"), "R", schema=schema)
+
+
+def test_empty_stream_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        read_csv(io.StringIO(""), "R")
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("A,B\nx,1\ny,2\n")
+    db = load_csv(path, "T")
+    assert db.column("T", "B") == [1, 2]
+    out_path = tmp_path / "out.csv"
+    dump_csv(db, "T", out_path)
+    assert out_path.read_text() == path.read_text()

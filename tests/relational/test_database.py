@@ -1,0 +1,126 @@
+"""Unit tests for the Database id→fact mapping and its mutations."""
+
+import pytest
+
+from repro.relational import Database, Fact, Schema, SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B"]})
+
+
+class TestConstruction:
+    def test_from_rows_assigns_consecutive_ids(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 2), (3, 4)])
+        assert db.ids() == [0, 1]
+
+    def test_arity_mismatch_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Database.from_rows(schema, "R", [(1, 2, 3)])
+
+    def test_duplicate_facts_get_distinct_ids(self, schema):
+        db = Database.from_facts(schema, [Fact("R", (1, 1)), Fact("R", (1, 1))])
+        assert len(db) == 2
+        assert db[0] == db[1]
+
+
+class TestMutations:
+    def test_insert_uses_minimal_free_id(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1), (2, 2), (3, 3)])
+        db.delete(1)
+        new_id = db.insert(Fact("R", (9, 9)))
+        assert new_id == 1
+
+    def test_delete_missing_returns_false(self, schema):
+        db = Database(schema)
+        assert db.delete(5) is False
+
+    def test_update_changes_value(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 2)])
+        assert db.update(0, "B", 99)
+        assert db.get_cell(0, "B") == 99
+
+    def test_update_missing_id_returns_false(self, schema):
+        db = Database(schema)
+        assert db.update(0, "A", 1) is False
+
+    def test_update_unknown_attribute_returns_false(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 2)])
+        assert db.update(0, "Z", 1) is False
+
+    def test_update_maintains_active_domain(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 2), (1, 3)])
+        db.update(0, "A", 7)
+        domain = db.active_domain("R", "A")
+        assert domain.frequency(1) == 1
+        assert domain.frequency(7) == 1
+
+    def test_delete_maintains_active_domain(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 2)])
+        db.delete(0)
+        assert 1 not in db.active_domain("R", "A")
+
+
+class TestViews:
+    def test_subset_keeps_identifiers(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1), (2, 2), (3, 3)])
+        sub = db.subset([0, 2])
+        assert sub.ids() == [0, 2]
+        assert sub[2] == db[2]
+
+    def test_subset_unknown_id_raises(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1)])
+        with pytest.raises(KeyError):
+            db.subset([5])
+
+    def test_without(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1), (2, 2)])
+        assert db.without([0]).ids() == [1]
+
+    def test_is_subset_of(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1), (2, 2)])
+        assert db.subset([0]).is_subset_of(db)
+        assert not db.is_subset_of(db.subset([0]))
+
+    def test_is_subset_requires_same_fact_per_id(self, schema):
+        db1 = Database.from_rows(schema, "R", [(1, 1)])
+        db2 = Database.from_rows(schema, "R", [(2, 2)])
+        assert not db1.is_subset_of(db2)
+
+    def test_copy_is_independent(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1)])
+        clone = db.copy()
+        clone.update(0, "A", 5)
+        assert db.get_cell(0, "A") == 1
+
+    def test_copy_preserves_domains(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1), (1, 2)])
+        clone = db.copy()
+        assert clone.active_domain("R", "A").frequency(1) == 2
+
+    def test_column(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 2), (3, 4)])
+        assert db.column("R", "B") == [2, 4]
+
+    def test_equality(self, schema):
+        db1 = Database.from_rows(schema, "R", [(1, 1)])
+        db2 = Database.from_rows(schema, "R", [(1, 1)])
+        assert db1 == db2
+        db2.update(0, "A", 9)
+        assert db1 != db2
+
+
+class TestFact:
+    def test_get_by_attribute(self, schema):
+        fact = Fact("R", (10, 20))
+        assert fact.get(schema.signature("R"), "B") == 20
+
+    def test_with_value_is_functional(self, schema):
+        fact = Fact("R", (10, 20))
+        updated = fact.with_value(schema.signature("R"), "A", 99)
+        assert fact.values == (10, 20)
+        assert updated.values == (99, 20)
+
+    def test_hashable(self):
+        assert len({Fact("R", (1,)), Fact("R", (1,))}) == 1

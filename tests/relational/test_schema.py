@@ -1,0 +1,67 @@
+"""Unit tests for schemas and signatures."""
+
+import pytest
+
+from repro.relational.schema import RelationSignature, Schema, SchemaError
+
+
+class TestRelationSignature:
+    def test_arity(self):
+        sig = RelationSignature("R", ("A", "B"))
+        assert sig.arity == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("R", ("A", "A"))
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("R", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("", ("A",))
+
+    def test_index_of(self):
+        sig = RelationSignature("R", ("A", "B", "C"))
+        assert sig.index_of("B") == 1
+
+    def test_index_of_unknown_raises(self):
+        sig = RelationSignature("R", ("A",))
+        with pytest.raises(SchemaError, match="no attribute"):
+            sig.index_of("Z")
+
+    def test_has_attribute(self):
+        sig = RelationSignature("R", ("A",))
+        assert sig.has_attribute("A")
+        assert not sig.has_attribute("B")
+
+
+class TestSchema:
+    def test_from_dict(self):
+        schema = Schema.from_dict({"R": ["A"], "S": ["B", "C"]})
+        assert len(schema) == 2
+        assert schema.signature("S").arity == 2
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema.from_dict({"R": ["A"]})
+        with pytest.raises(SchemaError, match="already defined"):
+            schema.add_relation("R", ["B"])
+
+    def test_unknown_relation_raises(self):
+        schema = Schema.from_dict({"R": ["A"]})
+        with pytest.raises(SchemaError, match="unknown relation"):
+            schema.signature("X")
+
+    def test_contains(self):
+        schema = Schema.from_dict({"R": ["A"]})
+        assert "R" in schema
+        assert "X" not in schema
+
+    def test_relation_names_order(self):
+        schema = Schema.from_dict({"B": ["X"], "A": ["Y"]})
+        assert schema.relation_names() == ["B", "A"]
+
+    def test_iteration(self):
+        schema = Schema.from_dict({"R": ["A"], "S": ["B"]})
+        assert [sig.name for sig in schema] == ["R", "S"]

@@ -1,0 +1,86 @@
+"""Unit tests for value typing and active domains."""
+
+from repro.relational.values import (
+    ActiveDomain,
+    coerce_value,
+    is_null,
+    render_value,
+    values_comparable,
+)
+
+
+class TestCoercion:
+    def test_empty_string_is_null(self):
+        assert coerce_value("") is None
+
+    def test_integer(self):
+        assert coerce_value("42") == 42
+        assert isinstance(coerce_value("42"), int)
+
+    def test_negative_integer(self):
+        assert coerce_value("-7") == -7
+
+    def test_float(self):
+        assert coerce_value("3.25") == 3.25
+
+    def test_string_passthrough(self):
+        assert coerce_value("Key West") == "Key West"
+
+    def test_roundtrip(self):
+        for text in ("42", "3.5", "hello", ""):
+            assert render_value(coerce_value(text)) == text
+
+    def test_render_none(self):
+        assert render_value(None) == ""
+
+
+class TestComparability:
+    def test_null_never_comparable(self):
+        assert not values_comparable(None, 1)
+        assert not values_comparable("a", None)
+
+    def test_mixed_numeric(self):
+        assert values_comparable(1, 2.5)
+
+    def test_string_string(self):
+        assert values_comparable("a", "b")
+
+    def test_string_number_incomparable(self):
+        assert not values_comparable("a", 1)
+
+    def test_is_null(self):
+        assert is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestActiveDomain:
+    def test_frequency_ranking(self):
+        domain = ActiveDomain(["a", "b", "a", "c", "a", "b"])
+        assert domain.values_by_frequency() == ["a", "b", "c"]
+
+    def test_membership(self):
+        domain = ActiveDomain(["x"])
+        assert "x" in domain
+        assert "y" not in domain
+
+    def test_nulls_ignored(self):
+        domain = ActiveDomain([None, "a", None])
+        assert len(domain) == 1
+        assert domain.total() == 1
+
+    def test_discard_decrements(self):
+        domain = ActiveDomain(["a", "a"])
+        domain.discard("a")
+        assert domain.frequency("a") == 1
+        domain.discard("a")
+        assert "a" not in domain
+
+    def test_discard_absent_is_noop(self):
+        domain = ActiveDomain(["a"])
+        domain.discard("zzz")
+        assert domain.frequency("a") == 1
+
+    def test_tie_break_deterministic(self):
+        domain = ActiveDomain(["b", "a"])
+        assert domain.values_by_frequency() == ["a", "b"]

@@ -1,0 +1,145 @@
+"""Unit tests for the Theorem 1 dichotomy: classification and poly algorithms."""
+
+import random
+
+import pytest
+
+from repro.constraints import Atom, EqualityGeneratingDependency, example8_egds
+from repro.relational import Database, Fact, Schema
+from repro.repairs import (
+    classify_single_egd,
+    ir_single_egd,
+    minimum_subset_repair,
+    table_cost,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B"], "S": ["A", "B"]})
+
+
+class TestClassification:
+    def test_example8(self):
+        egds = example8_egds()
+        assert classify_single_egd(egds["sigma1"]).tractable
+        assert classify_single_egd(egds["sigma2"]).hard
+        assert classify_single_egd(egds["sigma3"]).hard
+        assert classify_single_egd(egds["sigma4"]).tractable
+
+    def test_non_binary_rejected(self):
+        ternary = EqualityGeneratingDependency(
+            [Atom("R", ("x", "y", "z"))], "x", "y"
+        )
+        with pytest.raises(ValueError, match="two binary atoms"):
+            classify_single_egd(ternary)
+
+    def test_case_labels(self):
+        egds = example8_egds()
+        assert "Lemma 2" in classify_single_egd(egds["sigma4"]).case
+        assert "path" in classify_single_egd(egds["sigma2"]).case
+
+    def test_hard_shape_refuses_fast_path(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        egd = example8_egds()["sigma2"]
+        egd.bind_schema(schema)
+        db = Database.from_rows(schema, "R", [(1, 2), (2, 3)])
+        with pytest.raises(ValueError, match="path shape"):
+            ir_single_egd(egd, db)
+
+
+class TestPolyAlgorithms:
+    def test_fd_shape_key_repair(self, schema):
+        egd = example8_egds()["sigma1"]  # A -> B
+        egd.bind_schema(schema)
+        db = Database.from_rows(schema, "R", [(1, 2), (1, 2), (1, 3), (2, 9)])
+        assert ir_single_egd(egd, db) == 1.0  # delete the (1,3) fact
+
+    def test_identical_atoms(self, schema):
+        egd = EqualityGeneratingDependency(
+            [Atom("R", ("x", "y")), Atom("R", ("x", "y"))], "x", "y"
+        )
+        egd.bind_schema(schema)
+        db = Database.from_rows(schema, "R", [(1, 1), (1, 2), (3, 4)])
+        assert ir_single_egd(egd, db) == 2.0  # both off-diagonal facts go
+
+    def test_swapped_atoms(self, schema):
+        egd = EqualityGeneratingDependency(
+            [Atom("R", ("x", "y")), Atom("R", ("y", "x"))], "x", "y"
+        )
+        egd.bind_schema(schema)
+        db = Database.from_rows(
+            schema, "R", [(1, 2), (2, 1), (2, 1), (3, 4), (5, 5)]
+        )
+        # Pair {(1,2) vs (2,1)x2}: delete the single (1,2). (3,4) unmatched.
+        assert ir_single_egd(egd, db) == 1.0
+
+    def test_two_relations_delete_cheaper_side(self, schema):
+        egd = example8_egds()["sigma4"]  # R(x,y), S(y,z) -> x = z
+        egd.bind_schema(schema)
+        db = Database.from_facts(
+            schema,
+            [Fact("R", (1, 7)), Fact("S", (7, 2)), Fact("S", (7, 3))],
+        )
+        # Block y=7: R value x=1, S values z in {2,3}; no common value keeps
+        # everything; cheapest is deleting the single R fact.
+        assert ir_single_egd(egd, db) == 1.0
+
+    def test_weighted_costs_respected(self, schema):
+        egd = example8_egds()["sigma1"]
+        egd.bind_schema(schema)
+        db = Database.from_rows(schema, "R", [(1, 2), (1, 3)])
+        cost = ir_single_egd(egd, db, cost_function=table_cost({0: 10.0, 1: 1.0}))
+        assert cost == 1.0
+
+    @pytest.mark.parametrize("conclusion", [("x", "y"), ("x", "z"), ("y", "z")])
+    def test_first_position_sharing_all_conclusions(self, schema, conclusion):
+        left, right = conclusion
+        egd = EqualityGeneratingDependency(
+            [Atom("R", ("x", "y")), Atom("R", ("x", "z"))], left, right
+        )
+        egd.bind_schema(schema)
+        rng = random.Random(99)
+        for _ in range(10):
+            rows = [
+                (rng.choice([1, 2]), rng.choice([1, 2, 3]))
+                for _ in range(rng.randint(1, 6))
+            ]
+            db = Database.from_rows(schema, "R", rows)
+            fast = ir_single_egd(egd, db)
+            slow = minimum_subset_repair([egd], db).cost
+            assert fast == pytest.approx(slow)
+
+    @pytest.mark.parametrize(
+    "conclusion", [("x", "u"), ("x", "v"), ("y", "u"), ("y", "v"), ("x", "y")]
+    )
+    def test_disjoint_atoms_all_conclusions(self, schema, conclusion):
+        left, right = conclusion
+        egd = EqualityGeneratingDependency(
+            [Atom("R", ("x", "y")), Atom("R", ("u", "v"))], left, right
+        )
+        egd.bind_schema(schema)
+        rng = random.Random(7)
+        for _ in range(10):
+            rows = [
+                (rng.choice([1, 2]), rng.choice([1, 2]))
+                for _ in range(rng.randint(1, 5))
+            ]
+            db = Database.from_rows(schema, "R", rows)
+            fast = ir_single_egd(egd, db)
+            slow = minimum_subset_repair([egd], db).cost
+            assert fast == pytest.approx(slow)
+
+    def test_two_relations_randomized(self, schema):
+        egd = example8_egds()["sigma4"]
+        egd.bind_schema(schema)
+        rng = random.Random(21)
+        for _ in range(15):
+            db = Database(schema)
+            for _ in range(rng.randint(0, 5)):
+                db.insert(Fact("R", (rng.choice([1, 2]), rng.choice([1, 2]))))
+            for _ in range(rng.randint(0, 5)):
+                db.insert(Fact("S", (rng.choice([1, 2]), rng.choice([1, 2]))))
+            fast = ir_single_egd(egd, db)
+            slow = minimum_subset_repair([egd], db).cost
+            assert fast == pytest.approx(slow)

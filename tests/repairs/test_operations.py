@@ -1,0 +1,76 @@
+"""Unit tests for repairing operations."""
+
+import pytest
+
+from repro.relational import Database, Fact, Schema
+from repro.repairs import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateOperation,
+    apply_sequence,
+)
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ["A", "B"]})
+    return Database.from_rows(schema, "R", [(1, "x"), (2, "y")])
+
+
+class TestDelete:
+    def test_apply_is_functional(self, db):
+        result = DeleteOperation(0).apply(db)
+        assert 0 not in result
+        assert 0 in db
+
+    def test_inapplicable_keeps_database(self, db):
+        result = DeleteOperation(99).apply(db)
+        assert result == db
+
+    def test_is_applicable(self, db):
+        assert DeleteOperation(0).is_applicable(db)
+        assert not DeleteOperation(99).is_applicable(db)
+
+
+class TestInsert:
+    def test_insert_adds_fact(self, db):
+        result = InsertOperation(Fact("R", (3, "z"))).apply(db)
+        assert len(result) == 3
+
+    def test_insert_reuses_minimal_id(self, db):
+        db.delete(0)
+        result = InsertOperation(Fact("R", (3, "z"))).apply(db)
+        assert result[0] == Fact("R", (3, "z"))
+
+
+class TestUpdate:
+    def test_update_value(self, db):
+        result = UpdateOperation(0, "B", "changed").apply(db)
+        assert result.get_cell(0, "B") == "changed"
+        assert db.get_cell(0, "B") == "x"
+
+    def test_noop_update_not_applicable(self, db):
+        op = UpdateOperation(0, "B", "x")
+        assert not op.is_applicable(db)
+        assert op.apply(db) == db
+
+    def test_unknown_attribute_not_applicable(self, db):
+        assert not UpdateOperation(0, "Z", 1).is_applicable(db)
+
+    def test_missing_id_not_applicable(self, db):
+        assert not UpdateOperation(42, "A", 1).is_applicable(db)
+
+
+class TestSequences:
+    def test_paper_example3_delete_insert(self, db):
+        # Deleting and re-inserting simulates an update (Example 3).
+        ops = [
+            DeleteOperation(0),
+            InsertOperation(Fact("R", (1, "fixed"))),
+        ]
+        result = apply_sequence(db, ops)
+        assert result.get_cell(0, "B") == "fixed"
+        assert len(result) == 2
+
+    def test_sequence_empty(self, db):
+        assert apply_sequence(db, []) == db

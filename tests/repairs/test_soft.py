@@ -1,0 +1,91 @@
+"""Tests for soft (weighted) minimum repairs."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency, parse_dc
+from repro.relational import Database, Schema
+from repro.repairs import minimum_subset_repair
+from repro.repairs.soft import HARD, minimum_soft_repair, soft_repair_measure_value
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B", "C"]})
+
+
+@pytest.fixture
+def fd_ab():
+    return FunctionalDependency("R", {"A"}, {"B"})
+
+
+@pytest.fixture
+def fd_ac():
+    return FunctionalDependency("R", {"A"}, {"C"})
+
+
+class TestSoftRepair:
+    def test_all_hard_equals_ir(self, schema, fd_ab, fd_ac):
+        db = Database.from_rows(
+            schema, "R", [(1, "x", 0), (1, "y", 0), (1, "y", 5)]
+        )
+        soft = minimum_soft_repair([fd_ab, fd_ac], [HARD, HARD], db)
+        exact = minimum_subset_repair([fd_ab, fd_ac], db)
+        assert soft.cost == pytest.approx(exact.cost)
+        assert soft.given_up == []
+
+    def test_cheap_rule_given_up(self, schema, fd_ab):
+        # Repairing needs 2 deletions; giving up the rule costs 0.5.
+        db = Database.from_rows(
+            schema, "R", [(1, "x", 0), (1, "y", 0), (1, "z", 0)]
+        )
+        soft = minimum_soft_repair([fd_ab], [0.5], db)
+        assert soft.cost == pytest.approx(0.5)
+        assert soft.given_up == [fd_ab]
+        assert soft.deleted_ids == set()
+
+    def test_expensive_rule_repaired(self, schema, fd_ab):
+        db = Database.from_rows(schema, "R", [(1, "x", 0), (1, "y", 0)])
+        soft = minimum_soft_repair([fd_ab], [10.0], db)
+        assert soft.cost == pytest.approx(1.0)
+        assert soft.given_up == []
+        assert len(soft.deleted_ids) == 1
+
+    def test_mixed_give_up(self, schema, fd_ab, fd_ac):
+        # fd_ab needs 1 deletion; fd_ac needs 2 but costs only 0.25 to drop.
+        db = Database.from_rows(
+            schema,
+            "R",
+            [(1, "x", 0), (1, "y", 0), (2, "q", 1), (2, "q", 2), (2, "q", 3)],
+        )
+        soft = minimum_soft_repair([fd_ab, fd_ac], [HARD, 0.25], db)
+        assert soft.given_up == [fd_ac]
+        assert soft.cost == pytest.approx(1.25)
+
+    def test_sharing_facts_between_rules(self, schema, fd_ab, fd_ac):
+        # One fact violates both rules: deleting it serves both, so giving
+        # up either rule buys nothing.
+        db = Database.from_rows(
+            schema, "R", [(1, "x", 0), (1, "y", 9)]
+        )
+        soft = minimum_soft_repair([fd_ab, fd_ac], [5.0, 5.0], db)
+        assert soft.cost == pytest.approx(1.0)
+        assert soft.given_up == []
+
+    def test_consistent_database_free(self, schema, fd_ab):
+        db = Database.from_rows(schema, "R", [(1, "x", 0)])
+        assert soft_repair_measure_value([fd_ab], [1.0], db) == 0.0
+
+    def test_weight_validation(self, schema, fd_ab):
+        db = Database.from_rows(schema, "R", [(1, "x", 0)])
+        with pytest.raises(ValueError, match="align"):
+            minimum_soft_repair([fd_ab], [], db)
+        with pytest.raises(ValueError, match="non-negative"):
+            minimum_soft_repair([fd_ab], [-1.0], db)
+
+    def test_unary_dc_soft(self, schema):
+        dc = parse_dc("not(t.A > 10)", "R")
+        db = Database.from_rows(schema, "R", [(50, "x", 0), (60, "y", 0)])
+        # Two violating facts: repair costs 2, giving up costs 1.5.
+        soft = minimum_soft_repair([dc], [1.5], db)
+        assert soft.cost == pytest.approx(1.5)
+        assert soft.given_up == [dc]

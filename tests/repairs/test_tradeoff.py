@@ -1,0 +1,114 @@
+"""Tests for the inconsistency-vs-information-loss tradeoff module."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.measures import make_measure
+from repro.relational import Database, Fact, Schema
+from repro.repairs import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateOperation,
+    information_loss,
+    score_operations,
+    stepwise_resolve,
+    update_system,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B"]})
+
+
+@pytest.fixture
+def fd():
+    return FunctionalDependency("R", {"A"}, {"B"})
+
+
+class TestInformationLoss:
+    def test_delete_costs_arity(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        assert information_loss(DeleteOperation(0), db) == 2.0
+
+    def test_delete_missing_costs_zero(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        assert information_loss(DeleteOperation(9), db) == 0.0
+
+    def test_update_costs_one(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        assert information_loss(UpdateOperation(0, "B", "y"), db) == 1.0
+
+    def test_noop_update_costs_zero(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        assert information_loss(UpdateOperation(0, "B", "x"), db) == 0.0
+
+    def test_insert_costs_zero(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        assert information_loss(InsertOperation(Fact("R", (2, "y"))), db) == 0.0
+
+
+class TestScoring:
+    def test_best_operation_breaks_most_conflicts(self, schema, fd):
+        # Hub fact conflicts with 3 others: deleting it is the best move.
+        db = Database.from_rows(
+            schema, "R", [(1, "hub"), (1, "a"), (1, "a"), (1, "a")]
+        )
+        scored = score_operations(make_measure("I_MI"), [fd], db)
+        assert scored[0].operation == DeleteOperation(0)
+        assert scored[0].inconsistency_reduction == pytest.approx(3.0)
+
+    def test_clean_facts_skipped(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (9, "clean")])
+        scored = score_operations(make_measure("I_MI"), [fd], db)
+        targets = {s.operation.identifier for s in scored}
+        assert 2 not in targets
+
+    def test_update_system_scoring(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        scored = score_operations(
+            make_measure("I_MI"), [fd], db, system=update_system()
+        )
+        assert scored[0].inconsistency_reduction == pytest.approx(1.0)
+        assert scored[0].loss == 1.0  # single-cell update beats deletion
+
+
+class TestStepwiseResolve:
+    def test_reaches_consistency(self, schema, fd):
+        db = Database.from_rows(
+            schema, "R", [(1, "x"), (1, "y"), (2, "p"), (2, "q")]
+        )
+        trace = stepwise_resolve(make_measure("I_MI"), [fd], db)
+        assert trace.consistent
+        assert trace.final_inconsistency == 0.0
+        assert len(trace.steps) == 2
+
+    def test_input_not_mutated(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        snapshot = db.copy()
+        stepwise_resolve(make_measure("I_MI"), [fd], db)
+        assert db == snapshot
+
+    def test_stalls_for_drastic_measure(self, schema, fd):
+        # I_d never decreases until full consistency, so the greedy resolver
+        # finds no positive-benefit step on a 2-conflict database.
+        db = Database.from_rows(
+            schema, "R", [(1, "x"), (1, "y"), (2, "p"), (2, "q")]
+        )
+        trace = stepwise_resolve(make_measure("I_d"), [fd], db)
+        assert not trace.consistent
+        assert trace.steps == []
+
+    def test_update_system_loses_less_information(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        deletion_trace = stepwise_resolve(make_measure("I_MI"), [fd], db)
+        update_trace = stepwise_resolve(
+            make_measure("I_MI"), [fd], db, system=update_system()
+        )
+        assert update_trace.consistent
+        assert update_trace.total_loss < deletion_trace.total_loss
+
+    def test_max_steps_respected(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (1, "z")])
+        trace = stepwise_resolve(make_measure("I_MI"), [fd], db, max_steps=1)
+        assert len(trace.steps) == 1

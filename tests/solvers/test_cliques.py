@@ -1,0 +1,114 @@
+"""Unit tests for maximal clique / independent-set enumeration."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.solvers.cliques import (
+    EnumerationBudgetExceeded,
+    count_maximal_independent_sets,
+    maximal_cliques,
+    maximal_independent_sets,
+    maximal_sets_avoiding,
+)
+
+
+class TestMaximalCliques:
+    def test_empty_graph_single_empty_clique(self):
+        result = list(maximal_cliques([], {}))
+        assert result == [frozenset()]
+
+    def test_triangle(self):
+        adjacency = {"a": {"b", "c"}, "b": {"a", "c"}, "c": {"a", "b"}}
+        result = list(maximal_cliques(list("abc"), adjacency))
+        assert result == [frozenset("abc")]
+
+    def test_path(self):
+        adjacency = {"a": {"b"}, "b": {"a", "c"}, "c": {"b"}}
+        result = {frozenset(c) for c in maximal_cliques(list("abc"), adjacency)}
+        assert result == {frozenset("ab"), frozenset("bc")}
+
+
+class TestIndependentSets:
+    def test_no_edges_one_mis(self):
+        assert count_maximal_independent_sets(list("abc"), []) == 1
+
+    def test_path_graph(self):
+        # a-b-c: MIS = {a,c}, {b}
+        assert count_maximal_independent_sets(list("abc"), [("a", "b"), ("b", "c")]) == 2
+
+    def test_cycle5(self):
+        edges = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a")]
+        assert count_maximal_independent_sets(list("abcde"), edges) == 5
+
+    def test_isolated_vertices_join_every_mis(self):
+        sets = list(
+            maximal_independent_sets(list("abz"), [("a", "b")])
+        )
+        assert all("z" in s for s in sets)
+        assert len(sets) == 2
+
+    def test_budget_exceeded(self):
+        # K_{3,3} complement-ish: many MIS; use limit 1 to trip the budget.
+        edges = [(f"u{i}", f"v{j}") for i in range(3) for j in range(3)]
+        vertices = [f"u{i}" for i in range(3)] + [f"v{j}" for j in range(3)]
+        with pytest.raises(EnumerationBudgetExceeded):
+            count_maximal_independent_sets(vertices, edges, limit=1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_against_networkx(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 9)
+        vertices = list(range(n))
+        edges = sorted(
+            {tuple(sorted(rng.sample(vertices, 2))) for _ in range(rng.randint(1, 2 * n))}
+        )
+        graph = nx.Graph()
+        graph.add_nodes_from(vertices)
+        graph.add_edges_from(edges)
+        complement = nx.complement(graph)
+        expected = sum(1 for _ in nx.find_cliques(complement))
+        assert count_maximal_independent_sets(vertices, edges) == expected
+
+
+class TestHypergraphMaximalSets:
+    def brute(self, elements, forbidden):
+        results = set()
+        for size in range(len(elements), -1, -1):
+            for combo in itertools.combinations(elements, size):
+                chosen = frozenset(combo)
+                if any(group <= chosen for group in forbidden):
+                    continue
+                if any(chosen < other for other in results):
+                    continue
+                results.add(chosen)
+        # Keep only maximal.
+        return {
+            s
+            for s in results
+            if not any(s < other for other in results)
+        }
+
+    def test_single_triple(self):
+        result = set(maximal_sets_avoiding(list("abcd"), [frozenset("abc")]))
+        assert result == self.brute(list("abcd"), [frozenset("abc")])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_hypergraphs(self, seed):
+        rng = random.Random(seed)
+        elements = list(range(rng.randint(3, 7)))
+        forbidden = sorted(
+            {
+                frozenset(rng.sample(elements, rng.randint(2, 3)))
+                for _ in range(rng.randint(1, 4))
+            },
+            key=sorted,
+        )
+        result = set(maximal_sets_avoiding(elements, forbidden))
+        assert result == self.brute(elements, forbidden)
+
+    def test_free_elements_included_everywhere(self):
+        result = list(maximal_sets_avoiding([1, 2, 3, 9], [frozenset({1, 2})]))
+        assert all(9 in s and 3 in s for s in result)

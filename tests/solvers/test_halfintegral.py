@@ -1,0 +1,107 @@
+"""Unit tests for the half-integral vertex-cover LP (Nemhauser–Trotter)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from scipy.optimize import linprog
+
+from repro.solvers.halfintegral import nemhauser_trotter_kernel, vertex_cover_lp
+
+
+class TestSmallGraphs:
+    def test_single_edge(self):
+        value, x = vertex_cover_lp(["a", "b"], [("a", "b")])
+        assert value == pytest.approx(1.0)
+        assert sum(x.values()) == Fraction(1)
+
+    def test_triangle_all_halves(self):
+        value, x = vertex_cover_lp(list("abc"), [("a", "b"), ("b", "c"), ("a", "c")])
+        assert value == pytest.approx(1.5)
+        assert all(v == Fraction(1, 2) for v in x.values())
+
+    def test_star_center_is_one(self):
+        edges = [("c", f"l{i}") for i in range(4)]
+        vertices = ["c"] + [f"l{i}" for i in range(4)]
+        value, x = vertex_cover_lp(vertices, edges)
+        assert value == pytest.approx(1.0)
+        assert x["c"] == Fraction(1)
+        assert all(x[f"l{i}"] == 0 for i in range(4))
+
+    def test_weighted_star_prefers_leaves(self):
+        edges = [("c", f"l{i}") for i in range(3)]
+        vertices = ["c", "l0", "l1", "l2"]
+        value, x = vertex_cover_lp(vertices, edges, weights={"c": 10.0})
+        assert value == pytest.approx(3.0)
+        assert x["c"] == Fraction(0)
+
+    def test_self_loops_forced(self):
+        value, x = vertex_cover_lp(["a", "b"], [("a", "b")], self_loops=["a"])
+        assert x["a"] == Fraction(1)
+        assert x["b"] == Fraction(0)
+        assert value == pytest.approx(1.0)
+
+    def test_isolated_vertices_zero(self):
+        value, x = vertex_cover_lp(["a", "b", "z"], [("a", "b")])
+        assert x["z"] == Fraction(0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            vertex_cover_lp(["a", "b"], [("a", "b")], weights={"a": -1})
+
+    def test_half_integrality(self):
+        rng = random.Random(3)
+        vertices = list(range(12))
+        edges = [tuple(rng.sample(vertices, 2)) for _ in range(20)]
+        _, x = vertex_cover_lp(vertices, edges)
+        assert all(v in (Fraction(0), Fraction(1, 2), Fraction(1)) for v in x.values())
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_weighted_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 12)
+        vertices = list(range(n))
+        edges = set()
+        for _ in range(rng.randint(2, 2 * n)):
+            u, v = rng.sample(vertices, 2)
+            edges.add((min(u, v), max(u, v)))
+        edges = sorted(edges)
+        weights = {v: rng.uniform(0.5, 3.0) for v in vertices}
+        value, x = vertex_cover_lp(vertices, edges, weights)
+        costs = [weights[v] for v in vertices]
+        a_ub = []
+        for u, v in edges:
+            row = [0.0] * n
+            row[u] = row[v] = -1.0
+            a_ub.append(row)
+        reference = linprog(
+            costs,
+            A_ub=a_ub,
+            b_ub=[-1.0] * len(edges),
+            bounds=[(0, 1)] * n,
+            method="highs",
+        )
+        assert value == pytest.approx(reference.fun, abs=1e-7)
+        # Feasibility of the half-integral assignment.
+        for u, v in edges:
+            assert x[u] + x[v] >= 1
+
+
+class TestKernel:
+    def test_partition_covers_everything(self):
+        rng = random.Random(11)
+        vertices = list(range(10))
+        edges = sorted(
+            {tuple(sorted(rng.sample(vertices, 2))) for _ in range(15)}
+        )
+        ones, zeros, halves = nemhauser_trotter_kernel(vertices, edges)
+        assert ones | zeros | halves == set(vertices)
+        assert not (ones & zeros or ones & halves or zeros & halves)
+        # No edge is entirely inside `zeros` and no zero-half edges exist.
+        for u, v in edges:
+            assert not (u in zeros and v in zeros)
+            assert not (
+                (u in zeros and v in halves) or (v in zeros and u in halves)
+            )

@@ -1,0 +1,92 @@
+"""Unit tests for the branch-and-bound 0/1 ILP solver."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.solvers.ilp import BudgetExceeded, solve_binary_ilp
+from repro.solvers.simplex import LpProblem, Sense
+
+
+def covering_problem(n, sets, costs=None):
+    problem = LpProblem(
+        num_vars=n,
+        objective={i: (costs[i] if costs else 1.0) for i in range(n)},
+    )
+    for group in sets:
+        problem.add_row({v: 1.0 for v in group}, Sense.GE, 1.0)
+    return problem
+
+
+class TestBasics:
+    def test_triangle_cover(self):
+        problem = covering_problem(3, [(0, 1), (1, 2), (0, 2)])
+        solution = solve_binary_ilp(problem)
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.values.sum() == pytest.approx(2.0)
+
+    def test_integral_lp_shortcut(self):
+        problem = covering_problem(2, [(0,), (1,)])
+        solution = solve_binary_ilp(problem)
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.nodes_explored == 1
+
+    def test_infeasible_returns_none(self):
+        problem = LpProblem(num_vars=1, objective={0: 1.0})
+        problem.add_row({0: 1.0}, Sense.GE, 2.0)  # x <= 1 makes this infeasible
+        assert solve_binary_ilp(problem) is None
+
+    def test_incumbent_accepted(self):
+        problem = covering_problem(3, [(0, 1), (1, 2)])
+        incumbent = np.array([0.0, 1.0, 0.0])
+        solution = solve_binary_ilp(problem, incumbent=incumbent)
+        assert solution.objective == pytest.approx(1.0)
+
+    def test_bad_incumbent_rejected(self):
+        problem = covering_problem(2, [(0, 1)])
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_binary_ilp(problem, incumbent=np.zeros(2))
+
+    def test_budget_raises(self):
+        rng = random.Random(0)
+        n = 14
+        sets = [tuple(rng.sample(range(n), 2)) for _ in range(30)]
+        problem = covering_problem(n, sets)
+        with pytest.raises(BudgetExceeded):
+            solve_binary_ilp(problem, max_nodes=1)
+
+    def test_weighted_cover(self):
+        problem = covering_problem(
+            3, [(0, 1), (1, 2)], costs=[5.0, 1.0, 5.0]
+        )
+        solution = solve_binary_ilp(problem)
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.values[1] == 1.0
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        import itertools
+
+        rng = random.Random(seed)
+        n = rng.randint(3, 8)
+        sets = sorted(
+            {
+                tuple(sorted(rng.sample(range(n), rng.randint(1, 3))))
+                for _ in range(rng.randint(2, 8))
+            }
+        )
+        costs = [rng.choice([1.0, 2.0, 0.5]) for _ in range(n)]
+        problem = covering_problem(n, sets, costs)
+        solution = solve_binary_ilp(problem)
+
+        best = None
+        for size in range(n + 1):
+            for combo in itertools.combinations(range(n), size):
+                chosen = set(combo)
+                if all(set(group) & chosen for group in sets):
+                    cost = sum(costs[i] for i in chosen)
+                    best = cost if best is None else min(best, cost)
+        assert solution.objective == pytest.approx(best)

@@ -1,0 +1,135 @@
+"""Unit tests for the two-phase simplex solver, cross-checked with scipy."""
+
+import random
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.solvers.simplex import LpProblem, LpStatus, Sense, solve_lp
+
+
+class TestBasics:
+    def test_trivial_covering(self):
+        p = LpProblem(num_vars=2, objective={0: 1.0, 1: 1.0})
+        p.add_row({0: 1, 1: 1}, Sense.GE, 1)
+        s = solve_lp(p)
+        assert s.is_optimal
+        assert s.objective == pytest.approx(1.0)
+
+    def test_triangle_half_integral(self):
+        p = LpProblem(num_vars=3, objective={0: 1.0, 1: 1.0, 2: 1.0})
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            p.add_row({a: 1, b: 1}, Sense.GE, 1)
+        assert solve_lp(p).objective == pytest.approx(1.5)
+
+    def test_no_rows_zero_optimum(self):
+        p = LpProblem(num_vars=3, objective={0: 1.0, 1: 2.0})
+        s = solve_lp(p)
+        assert s.objective == 0.0
+
+    def test_no_rows_negative_cost_unbounded(self):
+        p = LpProblem(num_vars=1, objective={0: -1.0})
+        assert solve_lp(p).status is LpStatus.UNBOUNDED
+
+    def test_unbounded_with_rows(self):
+        p = LpProblem(num_vars=2, objective={0: -1.0})
+        p.add_row({1: 1}, Sense.LE, 5)
+        assert solve_lp(p).status is LpStatus.UNBOUNDED
+
+    def test_infeasible(self):
+        p = LpProblem(num_vars=1, objective={0: 1.0})
+        p.add_row({0: 1}, Sense.LE, 1)
+        p.add_row({0: 1}, Sense.GE, 2)
+        assert solve_lp(p).status is LpStatus.INFEASIBLE
+
+    def test_equality_constraint(self):
+        p = LpProblem(num_vars=2, objective={0: 1.0, 1: 3.0})
+        p.add_row({0: 1, 1: 1}, Sense.EQ, 4)
+        s = solve_lp(p)
+        assert s.objective == pytest.approx(4.0)
+        assert s.values[0] == pytest.approx(4.0)
+
+    def test_upper_bounds(self):
+        p = LpProblem(
+            num_vars=2,
+            objective={0: 1.0, 1: 2.0},
+            upper_bounds={0: 0.5, 1: 1.0},
+        )
+        p.add_row({0: 1, 1: 1}, Sense.GE, 1)
+        s = solve_lp(p)
+        assert s.objective == pytest.approx(0.5 + 2 * 0.5)
+
+    def test_negative_rhs_normalized(self):
+        # x >= 0 with -x <= -2  <=>  x >= 2.
+        p = LpProblem(num_vars=1, objective={0: 1.0})
+        p.add_row({0: -1}, Sense.LE, -2)
+        assert solve_lp(p).objective == pytest.approx(2.0)
+
+    def test_variable_out_of_range_rejected(self):
+        p = LpProblem(num_vars=1, objective={0: 1.0})
+        p.add_row({5: 1}, Sense.GE, 1)
+        with pytest.raises(IndexError):
+            solve_lp(p)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_covering_lps(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 10)
+        m = rng.randint(1, 14)
+        costs = [rng.uniform(0.5, 3.0) for _ in range(n)]
+        problem = LpProblem(
+            num_vars=n, objective={i: costs[i] for i in range(n)}
+        )
+        a_ub, b_ub = [], []
+        for _ in range(m):
+            support = rng.sample(range(n), rng.randint(1, min(4, n)))
+            problem.add_row({v: 1.0 for v in support}, Sense.GE, 1.0)
+            row = [0.0] * n
+            for v in support:
+                row[v] = -1.0
+            a_ub.append(row)
+            b_ub.append(-1.0)
+        mine = solve_lp(problem)
+        reference = linprog(
+            costs, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * n, method="highs"
+        )
+        assert mine.is_optimal
+        assert mine.objective == pytest.approx(reference.fun, abs=1e-7)
+
+    @pytest.mark.parametrize("seed", range(8, 14))
+    def test_random_mixed_lps(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 6)
+        costs = [rng.uniform(0.1, 2.0) for _ in range(n)]
+        problem = LpProblem(
+            num_vars=n,
+            objective={i: costs[i] for i in range(n)},
+            upper_bounds={i: 5.0 for i in range(n)},
+        )
+        a_ub, b_ub = [], []
+        for _ in range(rng.randint(1, 6)):
+            coeffs = {
+                v: rng.choice([1.0, 2.0, 0.5]) for v in rng.sample(range(n), 2)
+            }
+            problem.add_row(coeffs, Sense.GE, rng.uniform(0.5, 3.0))
+            row = [0.0] * n
+            for v, c in coeffs.items():
+                row[v] = -c
+            a_ub.append(row)
+            b_ub.append(-problem.rows[-1].rhs)
+        mine = solve_lp(problem)
+        reference = linprog(
+            costs, A_ub=a_ub, b_ub=b_ub, bounds=[(0, 5.0)] * n, method="highs"
+        )
+        assert mine.is_optimal == reference.success
+        if mine.is_optimal:
+            assert mine.objective == pytest.approx(reference.fun, abs=1e-7)
+            # The solution must actually be feasible.
+            for row in problem.rows:
+                total = sum(
+                    c * mine.values[v] for v, c in row.coefficients.items()
+                )
+                assert total >= row.rhs - 1e-7

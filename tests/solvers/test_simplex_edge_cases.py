@@ -1,0 +1,68 @@
+"""Edge-case and robustness tests for the simplex solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.simplex import LpProblem, LpStatus, Sense, solve_lp
+
+
+class TestDegenerateCases:
+    def test_degenerate_vertex_terminates(self):
+        # Multiple constraints intersecting at the same vertex (degeneracy);
+        # Bland's rule must still terminate.
+        p = LpProblem(num_vars=2, objective={0: 1.0, 1: 1.0})
+        p.add_row({0: 1, 1: 1}, Sense.GE, 1)
+        p.add_row({0: 2, 1: 2}, Sense.GE, 2)
+        p.add_row({0: 1}, Sense.GE, 0)
+        s = solve_lp(p)
+        assert s.objective == pytest.approx(1.0)
+
+    def test_redundant_equality_rows(self):
+        p = LpProblem(num_vars=2, objective={0: 1.0, 1: 1.0})
+        p.add_row({0: 1, 1: 1}, Sense.EQ, 2)
+        p.add_row({0: 2, 1: 2}, Sense.EQ, 4)  # redundant duplicate
+        s = solve_lp(p)
+        assert s.is_optimal
+        assert s.objective == pytest.approx(2.0)
+
+    def test_zero_rhs_equality(self):
+        p = LpProblem(num_vars=2, objective={0: 1.0, 1: 1.0})
+        p.add_row({0: 1, 1: -1}, Sense.EQ, 0)
+        p.add_row({0: 1, 1: 1}, Sense.GE, 2)
+        s = solve_lp(p)
+        assert s.objective == pytest.approx(2.0)
+        assert s.values[0] == pytest.approx(s.values[1])
+
+    def test_conflicting_equalities_infeasible(self):
+        p = LpProblem(num_vars=1, objective={0: 1.0})
+        p.add_row({0: 1}, Sense.EQ, 1)
+        p.add_row({0: 1}, Sense.EQ, 2)
+        assert solve_lp(p).status is LpStatus.INFEASIBLE
+
+    def test_variable_absent_from_objective(self):
+        # Objective mentions only x0; x1 is free to satisfy constraints.
+        p = LpProblem(num_vars=2, objective={0: 1.0})
+        p.add_row({1: 1}, Sense.GE, 3)
+        s = solve_lp(p)
+        assert s.objective == pytest.approx(0.0)
+        assert s.values[1] >= 3 - 1e-9
+
+    def test_fractional_coefficients(self):
+        p = LpProblem(num_vars=2, objective={0: 0.3, 1: 0.7})
+        p.add_row({0: 0.5, 1: 0.25}, Sense.GE, 1)
+        s = solve_lp(p)
+        assert s.is_optimal
+        assert s.objective == pytest.approx(0.6)
+
+    def test_large_coefficient_spread(self):
+        p = LpProblem(num_vars=2, objective={0: 1e-3, 1: 1e3})
+        p.add_row({0: 1, 1: 1}, Sense.GE, 1)
+        s = solve_lp(p)
+        assert s.objective == pytest.approx(1e-3)
+
+    def test_many_rows_single_var(self):
+        p = LpProblem(num_vars=1, objective={0: 1.0})
+        for rhs in range(1, 20):
+            p.add_row({0: 1}, Sense.GE, rhs)
+        s = solve_lp(p)
+        assert s.objective == pytest.approx(19.0)

@@ -1,0 +1,132 @@
+"""Unit tests for exact minimum-weight hitting sets / vertex covers."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.solvers.vertex_cover import greedy_hitting_set, minimum_hitting_set
+
+
+def brute_force(sets, weights=None):
+    elements = sorted({e for group in sets for e in group}, key=repr)
+    weight = lambda e: (weights or {}).get(e, 1.0)
+    best = None
+    for size in range(len(elements) + 1):
+        for combo in itertools.combinations(elements, size):
+            chosen = set(combo)
+            if all(group & chosen for group in sets):
+                cost = sum(weight(e) for e in chosen)
+                if best is None or cost < best:
+                    best = cost
+        # Cannot early-exit by size when weighted; keep scanning.
+    return best if best is not None else 0.0
+
+
+class TestBasics:
+    def test_empty_family(self):
+        assert minimum_hitting_set([]) == (0.0, set())
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_hitting_set([frozenset()])
+
+    def test_singleton_forced(self):
+        value, cover = minimum_hitting_set([frozenset({"a"}), frozenset({"a", "b"})])
+        assert value == 1.0
+        assert cover == {"a"}
+
+    def test_triangle(self):
+        value, cover = minimum_hitting_set(
+            [frozenset("ab"), frozenset("bc"), frozenset("ac")]
+        )
+        assert value == 2.0
+        assert len(cover) == 2
+
+    def test_weighted_star(self):
+        sets = [frozenset({"c", f"l{i}"}) for i in range(3)]
+        value, cover = minimum_hitting_set(sets, weights={"c": 10.0})
+        assert value == 3.0
+        assert "c" not in cover
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_hitting_set([frozenset("ab")], weights={"a": 0.0})
+
+    def test_superset_dropped(self):
+        # {a,b,c} is implied by {a,b}; answer is a plain vertex cover.
+        value, _ = minimum_hitting_set([frozenset("ab"), frozenset("abc")])
+        assert value == 1.0
+
+    def test_hypergraph_hub(self):
+        value, cover = minimum_hitting_set([frozenset("abc"), frozenset("cde")])
+        assert value == 1.0
+        assert cover == {"c"}
+
+    def test_cover_is_valid(self):
+        sets = [frozenset("ab"), frozenset("bc"), frozenset("cd"), frozenset("ad")]
+        _, cover = minimum_hitting_set(sets)
+        assert all(group & cover for group in sets)
+
+
+class TestGreedy:
+    def test_greedy_hits_everything(self):
+        rng = random.Random(0)
+        sets = [
+            frozenset(rng.sample(range(10), rng.randint(1, 3))) for _ in range(12)
+        ]
+        cover = greedy_hitting_set(sets)
+        assert all(group & cover for group in sets)
+
+    def test_greedy_upper_bounds_optimum(self):
+        sets = [frozenset("ab"), frozenset("bc"), frozenset("ac")]
+        greedy = greedy_hitting_set(sets)
+        optimal, _ = minimum_hitting_set(sets)
+        assert len(greedy) >= optimal
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_pair_instances(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 9)
+        sets = sorted(
+            {
+                frozenset(rng.sample(range(n), 2))
+                for _ in range(rng.randint(2, 2 * n))
+            },
+            key=sorted,
+        )
+        value, cover = minimum_hitting_set(sets)
+        assert value == pytest.approx(brute_force(sets))
+        assert all(group & cover for group in sets)
+
+    @pytest.mark.parametrize("seed", range(12, 20))
+    def test_random_weighted_instances(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 8)
+        weights = {e: rng.choice([0.5, 1.0, 2.0, 3.5]) for e in range(n)}
+        sets = sorted(
+            {
+                frozenset(rng.sample(range(n), rng.choice([1, 2, 2, 3])))
+                for _ in range(rng.randint(2, 10))
+            },
+            key=sorted,
+        )
+        value, cover = minimum_hitting_set(sets, weights)
+        assert value == pytest.approx(brute_force(sets, weights))
+
+    @pytest.mark.parametrize("seed", range(20, 26))
+    def test_random_hypergraph_instances(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 8)
+        sets = sorted(
+            {
+                frozenset(rng.sample(range(n), rng.randint(2, 4)))
+                for _ in range(rng.randint(3, 9))
+            },
+            key=sorted,
+        )
+        value, cover = minimum_hitting_set(sets)
+        assert value == pytest.approx(brute_force(sets))
+        assert all(group & cover for group in sets)

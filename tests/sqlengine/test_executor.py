@@ -1,0 +1,114 @@
+"""Unit and integration tests for SQL execution."""
+
+import pytest
+
+from repro.relational import Database, Schema
+from repro.sqlengine import SqlEngine, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ["St", "Salary", "Tax"], "S": ["St", "Code"]})
+    database = Database.from_rows(
+        schema,
+        "R",
+        [
+            ("NY", 100, 10),
+            ("NY", 200, 5),
+            ("CA", 50, 1),
+            ("NY", 150, 20),
+            ("CA", 80, 2),
+        ],
+    )
+    for row in [("NY", 1), ("CA", 2)]:
+        from repro.relational import Fact
+
+        database.insert(Fact("S", row))
+    return database
+
+
+@pytest.fixture
+def engine(db):
+    return SqlEngine(db)
+
+
+class TestScans:
+    def test_select_star(self, engine):
+        rows = engine.execute("SELECT * FROM R")
+        assert len(rows) == 5
+        assert rows[0][0] == 0  # identifier first
+
+    def test_filter(self, engine):
+        rows = engine.execute("SELECT R.ID FROM R WHERE R.St = 'CA'")
+        assert sorted(rows) == [(2,), (4,)]
+
+    def test_count(self, engine):
+        assert engine.execute("SELECT COUNT(*) FROM R WHERE R.Salary > 90") == [(3,)]
+
+    def test_constant_comparison_types(self, engine):
+        rows = engine.execute("SELECT R.ID FROM R WHERE R.Tax <= 2")
+        assert sorted(rows) == [(2,), (4,)]
+
+
+class TestJoins:
+    PAPER_QUERY = (
+        "SELECT DISTINCT R1.ID, R2.ID FROM R AS R1, R AS R2 "
+        "WHERE R1.St = R2.St AND R1.Salary > R2.Salary AND R1.Tax < R2.Tax"
+    )
+
+    def test_paper_conflict_query(self, engine):
+        # (1) 200/5 vs (0) 100/10 and vs (3) 150/20: salary greater, tax less.
+        assert sorted(engine.execute(self.PAPER_QUERY)) == [(1, 0), (1, 3)]
+
+    def test_hash_and_nested_agree(self, db):
+        fast = SqlEngine(db).execute(self.PAPER_QUERY)
+        slow = SqlEngine(db, force_nested_loop=True).execute(self.PAPER_QUERY)
+        assert sorted(fast) == sorted(slow)
+
+    def test_cross_relation_join(self, engine):
+        rows = engine.execute(
+            "SELECT R.ID, S.Code FROM R, S WHERE R.St = S.St AND R.Salary > 90"
+        )
+        assert sorted(rows) == [(0, 1), (1, 1), (3, 1)]
+
+    def test_pure_cross_product(self, engine):
+        rows = engine.execute("SELECT R.ID, S.ID FROM R, S")
+        assert len(rows) == 10
+
+    def test_distinct_dedupes(self, engine):
+        rows = engine.execute("SELECT DISTINCT R.St FROM R")
+        assert sorted(rows) == [("CA",), ("NY",)]
+
+    def test_or_in_join(self, engine):
+        rows = engine.execute(
+            "SELECT DISTINCT R1.ID FROM R AS R1, R AS R2 "
+            "WHERE R1.St = R2.St AND (R1.Salary > 180 OR R1.Tax > 15)"
+        )
+        assert sorted(rows) == [(1,), (3,)]
+
+
+class TestNullSemantics:
+    def test_null_never_joins(self):
+        schema = Schema.from_dict({"T": ["A"]})
+        db = Database.from_rows(schema, "T", [(None,), (1,), (1,)])
+        rows = SqlEngine(db).execute(
+            "SELECT T1.ID, T2.ID FROM T AS T1, T AS T2 "
+            "WHERE T1.A = T2.A AND T1.ID < T2.ID"
+        )
+        assert rows == [(1, 2)]
+
+    def test_null_comparison_false(self):
+        schema = Schema.from_dict({"T": ["A"]})
+        db = Database.from_rows(schema, "T", [(None,), (5,)])
+        rows = SqlEngine(db).execute("SELECT T.ID FROM T WHERE T.A < 10")
+        assert rows == [(1,)]
+
+
+class TestErrors:
+    def test_unknown_relation(self, engine):
+        with pytest.raises(SqlSyntaxError, match="unknown relation"):
+            engine.execute("SELECT * FROM Nope")
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(Exception):
+            engine.execute("SELECT R.Bogus FROM R")

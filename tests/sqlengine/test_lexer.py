@@ -1,0 +1,72 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import SqlSyntaxError, TokenType
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)]
+
+
+def texts(sql):
+    return [token.text for token in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select DISTINCT from")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        assert texts("R1 foo_bar") == ["R1", "foo_bar"]
+
+    def test_qualified_column(self):
+        assert kinds("R1.ID")[:3] == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+        ]
+
+    def test_operators(self):
+        assert texts("< <= > >= = <> !=") == ["<", "<=", ">", ">=", "=", "<>", "!="]
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.25")
+        assert [t.text for t in tokens[:-1]] == ["42", "-7", "3.25"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_string_literal(self):
+        tokens = tokenize("'Key West'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "Key West"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'O''Hare'")
+        assert tokens[0].text == "O'Hare"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected"):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_punctuation(self):
+        assert kinds("(,)*")[:4] == [
+            TokenType.LPAREN,
+            TokenType.COMMA,
+            TokenType.RPAREN,
+            TokenType.STAR,
+        ]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

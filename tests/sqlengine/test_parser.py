@@ -1,0 +1,103 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.constraints.base import ComparisonOp
+from repro.sqlengine.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    CountStar,
+    Literal,
+    Or,
+    conjuncts,
+)
+from repro.sqlengine.parser import parse_query
+from repro.sqlengine.tokens import SqlSyntaxError
+
+
+class TestSelectList:
+    def test_distinct_columns(self):
+        q = parse_query("SELECT DISTINCT R1.ID, R2.ID FROM R AS R1, R AS R2")
+        assert q.distinct
+        assert q.select == (ColumnRef("R1", "ID"), ColumnRef("R2", "ID"))
+
+    def test_star(self):
+        q = parse_query("SELECT * FROM R")
+        assert q.select_star
+
+    def test_count_star(self):
+        q = parse_query("SELECT COUNT(*) FROM R")
+        assert q.is_aggregate()
+        assert isinstance(q.select[0], CountStar)
+
+
+class TestFromClause:
+    def test_alias_with_as(self):
+        q = parse_query("SELECT * FROM R AS R1")
+        assert q.tables[0].relation == "R"
+        assert q.tables[0].alias == "R1"
+
+    def test_alias_without_as(self):
+        q = parse_query("SELECT * FROM R R1")
+        assert q.tables[0].alias == "R1"
+
+    def test_default_alias_is_relation(self):
+        q = parse_query("SELECT * FROM R")
+        assert q.tables[0].alias == "R"
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate"):
+            parse_query("SELECT * FROM R AS X, S AS X")
+
+
+class TestWhereClause:
+    def test_comparison_operators(self):
+        q = parse_query("SELECT * FROM R WHERE R.A <= 5")
+        comparison = q.where
+        assert isinstance(comparison, Comparison)
+        assert comparison.op is ComparisonOp.LE
+        assert comparison.right == Literal(5)
+
+    def test_and_conjunction(self):
+        q = parse_query("SELECT * FROM R WHERE R.A = 1 AND R.B = 2 AND R.C = 3")
+        assert isinstance(q.where, And)
+        assert len(conjuncts(q.where)) == 3
+
+    def test_comma_as_and(self):
+        # The paper writes WHERE clauses with commas between predicates.
+        q = parse_query("SELECT * FROM R WHERE R.A = 1, R.B = 2")
+        assert len(conjuncts(q.where)) == 2
+
+    def test_or(self):
+        q = parse_query("SELECT * FROM R WHERE R.A = 1 OR R.B = 2")
+        assert isinstance(q.where, Or)
+
+    def test_parentheses(self):
+        q = parse_query("SELECT * FROM R WHERE (R.A = 1 OR R.B = 2) AND R.C = 3")
+        parts = conjuncts(q.where)
+        assert len(parts) == 2
+        assert isinstance(parts[0], Or)
+
+    def test_string_literal(self):
+        q = parse_query("SELECT * FROM R WHERE R.City = 'Key West'")
+        assert q.where.right == Literal("Key West")
+
+    def test_ne_aliases(self):
+        for op_text in ("<>", "!="):
+            q = parse_query(f"SELECT * FROM R WHERE R.A {op_text} R.B")
+            assert q.where.op is ComparisonOp.NE
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT *")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_query("SELECT * FROM R extra nonsense")
+
+    def test_missing_operator(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT * FROM R WHERE R.A R.B")

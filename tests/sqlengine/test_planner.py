@@ -1,0 +1,85 @@
+"""Unit tests for the query planner."""
+
+import pytest
+
+from repro.sqlengine.parser import parse_query
+from repro.sqlengine.planner import JoinPlan, ScanPlan, explain, plan_query
+from repro.sqlengine.tokens import SqlSyntaxError
+
+
+def plan(sql, **kwargs):
+    return plan_query(parse_query(sql), **kwargs)
+
+
+class TestPlanShapes:
+    def test_single_table_scan(self):
+        p = plan("SELECT * FROM R AS R1 WHERE R1.A = 1")
+        assert isinstance(p.root, ScanPlan)
+        assert len(p.root.filters) == 1
+
+    def test_equality_becomes_hash_join(self):
+        p = plan(
+            "SELECT * FROM R AS R1, R AS R2 WHERE R1.A = R2.A AND R1.B < R2.B"
+        )
+        assert isinstance(p.root, JoinPlan)
+        assert p.root.use_hash
+        assert len(p.root.equi_keys) == 1
+        assert len(p.root.residual) == 1
+
+    def test_no_equality_means_nested_loop(self):
+        p = plan("SELECT * FROM R AS R1, R AS R2 WHERE R1.A < R2.A")
+        assert isinstance(p.root, JoinPlan)
+        assert not p.root.use_hash
+
+    def test_force_nested_loop(self):
+        p = plan(
+            "SELECT * FROM R AS R1, R AS R2 WHERE R1.A = R2.A",
+            force_nested_loop=True,
+        )
+        assert not p.root.use_hash
+        # The equality key is still recorded for the nested-loop filter.
+        assert p.root.equi_keys
+
+    def test_single_alias_predicates_pushed_down(self):
+        p = plan("SELECT * FROM R AS R1, R AS R2 WHERE R1.A = 1 AND R1.A = R2.A")
+        scans = [p.root.left, p.root.right]
+        pushed = [s for s in scans if isinstance(s, ScanPlan) and s.filters]
+        assert len(pushed) == 1
+
+    def test_three_way_join_left_deep(self):
+        p = plan(
+            "SELECT * FROM R AS A, R AS B, R AS C "
+            "WHERE A.X = B.X AND B.Y = C.Y"
+        )
+        assert isinstance(p.root, JoinPlan)
+        assert isinstance(p.root.left, JoinPlan)
+        assert p.root.use_hash and p.root.left.use_hash
+
+    def test_or_condition_is_residual(self):
+        p = plan(
+            "SELECT * FROM R AS R1, R AS R2 "
+            "WHERE R1.A = R2.A AND (R1.B = 1 OR R2.B = 2)"
+        )
+        assert len(p.root.residual) == 1
+
+
+class TestErrors:
+    def test_unqualified_column_in_join_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="unqualified"):
+            plan("SELECT * FROM R AS R1, R AS R2 WHERE A = R2.A")
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="unknown table alias"):
+            plan("SELECT * FROM R AS R1 WHERE R9.A = 1")
+
+
+class TestExplain:
+    def test_explain_mentions_join_kind(self):
+        p = plan("SELECT * FROM R AS R1, R AS R2 WHERE R1.A = R2.A")
+        text = explain(p)
+        assert "HashJoin" in text
+        assert "Scan R AS R1" in text
+
+    def test_explain_nested_loop(self):
+        p = plan("SELECT * FROM R AS R1, R AS R2 WHERE R1.A < R2.A")
+        assert "NestedLoopJoin" in explain(p)

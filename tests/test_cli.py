@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import run
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "cities.csv"
+    path.write_text(
+        "Name,Country\nParis,FR\nParis,DE\nLyon,FR\nBerlin,DE\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def invoke(argv):
+    out = io.StringIO()
+    code = run(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_fd_flag(self, csv_file):
+        code, text = invoke(
+            [str(csv_file), "--relation", "R", "--fd", "R: Name -> Country"]
+        )
+        assert code == 0
+        assert "facts: 4" in text
+        assert "minimal inconsistent subsets: 1" in text
+        assert "I_MI = 1.0" in text
+
+    def test_dc_flag(self, tmp_path):
+        path = tmp_path / "stock.csv"
+        path.write_text("High,Low\n5,10\n10,5\n", encoding="utf-8")
+        code, text = invoke(
+            [str(path), "--dc", "not(t.High < t.Low)", "--measures", "I_d", "I_R"]
+        )
+        assert code == 0
+        assert "I_d = 1.0" in text
+        assert "I_R = 1.0" in text
+
+    def test_constraints_file(self, csv_file, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text(
+            "# geography rules\nfd: R: Name -> Country\n\n", encoding="utf-8"
+        )
+        code, text = invoke(
+            [str(csv_file), "--relation", "R", "--constraints", str(rules)]
+        )
+        assert code == 0
+        assert "constraints: 1" in text
+
+    def test_bad_rule_kind_rejected(self, csv_file, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("xx: nonsense\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="fd:"):
+            invoke([str(csv_file), "--constraints", str(rules)])
+
+    def test_no_constraints_rejected(self, csv_file):
+        with pytest.raises(SystemExit, match="no constraints"):
+            invoke([str(csv_file)])
+
+    def test_top_violations(self, csv_file):
+        code, text = invoke(
+            [
+                str(csv_file),
+                "--relation",
+                "R",
+                "--fd",
+                "R: Name -> Country",
+                "--top-violations",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "Shapley blame" in text
+        assert "blame=0.500" in text

@@ -1,0 +1,59 @@
+"""Smoke tests: the example scripts run end to end and print what they claim."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "Inconsistency measures" in output
+    assert "I_lin_R" in output
+    assert "optimal deletion repair" in output.lower()
+
+
+def test_complexity_tour():
+    output = run_example("complexity_tour.py")
+    assert "NP-hard" in output
+    assert "reduction verified: True" in output
+    assert "integrality-gap bound = 2" in output
+
+
+def test_reliability_report():
+    output = run_example("reliability_report.py")
+    assert "score/fact" in output
+    assert "clean" in output
+
+
+@pytest.mark.slow
+def test_progress_indicator():
+    output = run_example("progress_indicator.py")
+    assert "Database is now consistent: True" in output
+
+
+@pytest.mark.slow
+def test_cleaning_case_study():
+    output = run_example("cleaning_case_study.py")
+    assert "Constraint order" in output
+    assert "I_lin_R" in output
+
+
+@pytest.mark.slow
+def test_action_prioritization():
+    output = run_example("action_prioritization.py")
+    assert "Shapley blame" in output

@@ -1,0 +1,86 @@
+"""End-to-end integration tests crossing all subsystems."""
+
+import pytest
+
+from repro import Database, Schema, make_measure, measure, parse_dc, parse_fd
+from repro.cleaning import MiniHoloClean
+from repro.datasets import generate_sample
+from repro.experiments import run_behavior_experiment
+from repro.measures import make_measures
+from repro.noise import CONoise, RNoise
+from repro.repairs import minimum_subset_repair
+from repro.violations import build_violation_index, is_consistent
+
+
+class TestPublicApiFlow:
+    def test_quickstart_flow(self):
+        schema = Schema.from_dict({"City": ["Name", "Country", "Pop"]})
+        db = Database.from_rows(
+            schema,
+            "City",
+            [("Paris", "FR", 2), ("Paris", "DE", 1), ("Lyon", "FR", 1)],
+        )
+        fd = parse_fd("City: Name -> Country")
+        assert measure("I_d", [fd], db) == 1.0
+        assert measure("I_MI", [fd], db) == 1.0
+        assert measure("I_R", [fd], db) == 1.0
+        repair = minimum_subset_repair([fd], db)
+        assert is_consistent([fd], db.without(repair.deleted_ids))
+
+    def test_mixed_constraint_kinds(self):
+        schema = Schema.from_dict({"T": ["A", "B"]})
+        db = Database.from_rows(schema, "T", [(5, 1), (5, 2), (0, 9)])
+        fd = parse_fd("T: A -> B")
+        dc = parse_dc("not(t.A > t.B)", "T")
+        index = build_violation_index([fd, dc], db)
+        # FD pair {0,1}; unary violations {0} and {1} (5 > 1, 5 > 2) absorb it.
+        assert sorted(tuple(sorted(s)) for s in index.mi_sets) == [(0,), (1,)]
+        assert measure("I_R", [fd, dc], db) == 2.0
+
+
+class TestNoiseMeasureCleanLoop:
+    @pytest.mark.parametrize("dataset", ["Hospital", "Tax"])
+    def test_full_cycle(self, dataset):
+        db, constraints = generate_sample(dataset, 120, seed=13)
+        assert is_consistent(constraints, db)
+
+        noise = RNoise(constraints, alpha=0.02, seed=14)
+        noise.run(db)
+        dirty_value = measure("I_lin_R", constraints, db)
+        assert dirty_value > 0
+
+        MiniHoloClean(constraints, seed=0).clean(db)
+        cleaned_value = measure("I_lin_R", constraints, db)
+        assert cleaned_value <= dirty_value
+
+    def test_behavior_run_is_reasonable(self):
+        db, constraints = generate_sample("Airport", 100, seed=20)
+        noise = CONoise(constraints, seed=21)
+        measures = make_measures(["I_d", "I_MI", "I_P", "I_R", "I_lin_R"])
+        result = run_behavior_experiment(
+            db, constraints, noise, measures, iterations=12, measure_every=4
+        )
+        # I_R dominates I_lin_R pointwise; both start at zero and end above.
+        for ir, lin in zip(result.series["I_R"], result.series["I_lin_R"]):
+            assert lin <= ir + 1e-9
+        assert result.series["I_MI"][0] == 0.0
+        assert result.series["I_MI"][-1] > 0.0
+
+
+class TestMeasureConsistencyAcrossPaths:
+    def test_shared_index_equals_fresh_computation(self):
+        db, constraints = generate_sample("Food", 100, seed=30)
+        CONoise(constraints, seed=31).run(db, 15)
+        index = build_violation_index(constraints, db)
+        for name in ("I_d", "I_MI", "I_P", "I_R", "I_lin_R"):
+            m = make_measure(name)
+            assert m.value(constraints, db, index) == m.value(constraints, db)
+
+    def test_mc_measures_agree_on_fd_data(self):
+        db, constraints = generate_sample("Stock", 60, seed=32)
+        CONoise(constraints, seed=33).run(db, 5)
+        imc = measure("I_MC", constraints, db)
+        imc_prime = measure("I'_MC", constraints, db)
+        index = build_violation_index(constraints, db)
+        # Stock DCs are unary: every violation is a self-inconsistency.
+        assert imc_prime == imc + len(index.self_inconsistent)

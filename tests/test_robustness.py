@@ -1,0 +1,118 @@
+"""Failure-injection and degenerate-input robustness tests."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency, parse_dc
+from repro.measures import make_measure
+from repro.noise import CONoise, RNoise
+from repro.relational import Database, Schema
+from repro.repairs import minimum_subset_repair, minimum_update_repair
+from repro.violations import build_violation_index, is_consistent
+
+MEASURES = ("I_d", "I_MI", "I_P", "I_MC", "I'_MC", "I_R", "I_lin_R")
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B"]})
+
+
+class TestEmptyDatabase:
+    def test_all_measures_zero(self, schema):
+        db = Database(schema)
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        for name in MEASURES:
+            assert make_measure(name).value([fd], db) == 0.0, name
+
+    def test_repairs_trivial(self, schema):
+        db = Database(schema)
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        assert minimum_subset_repair([fd], db).cost == 0.0
+        assert minimum_update_repair([fd], db).cost == 0.0
+
+    def test_noise_no_crash(self, schema):
+        db = Database(schema)
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        CONoise([fd], seed=1).run(db, 5)
+        RNoise([fd], alpha=0.5, seed=1).run(db, 5)
+        assert len(db) == 0
+
+
+class TestEmptyConstraintSet:
+    def test_everything_consistent(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        assert is_consistent([], db)
+        for name in ("I_d", "I_MI", "I_P", "I_R", "I_lin_R"):
+            assert make_measure(name).value([], db) == 0.0, name
+
+    def test_imc_is_zero(self, schema):
+        # MC family is the singleton {D}: I_MC = 0.
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        assert make_measure("I_MC").value([], db) == 0.0
+
+
+class TestSingleFactDatabase:
+    def test_fd_cannot_be_violated(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        assert is_consistent([fd], db)
+
+    def test_unary_dc_can_be_violated(self, schema):
+        db = Database.from_rows(schema, "R", [(5, 1)])
+        dc = parse_dc("not(t.A > t.B)", "R")
+        index = build_violation_index([dc], db)
+        assert index.mi_sets == [frozenset({0})]
+        # The only repair deletes the single fact.
+        assert minimum_subset_repair([dc], db).deleted_ids == {0}
+
+
+class TestNullValues:
+    def test_nulls_never_violate_fds(self, schema):
+        db = Database.from_rows(schema, "R", [(None, "x"), (None, "y")])
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        # NULL = NULL is false in our (SQL-like) semantics.
+        assert is_consistent([fd], db)
+
+    def test_nulls_never_violate_order_dcs(self, schema):
+        db = Database.from_rows(schema, "R", [(None, 5), (3, None)])
+        dc = parse_dc("not(t.A > t.B)", "R")
+        assert is_consistent([dc], db)
+
+    def test_measures_handle_nulls(self, schema):
+        db = Database.from_rows(schema, "R", [(None, "x"), (1, "y"), (1, "z")])
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        assert make_measure("I_MI").value([fd], db) == 1.0
+
+
+class TestMixedTypeColumns:
+    def test_string_and_number_never_compare(self, schema):
+        db = Database.from_rows(schema, "R", [("high", 5), (3, "low")])
+        dc = parse_dc("not(t.A > t.B)", "R")
+        assert is_consistent([dc], db)
+
+    def test_equality_across_types_is_false(self, schema):
+        db = Database.from_rows(schema, "R", [(1, "x"), ("1", "y")])
+        fd = FunctionalDependency("R", {"A"}, {"B"})
+        # int 1 != str "1": no shared key, no violation.
+        assert is_consistent([fd], db)
+
+
+class TestCrossRelationConstraints:
+    def test_dc_spanning_two_relations(self):
+        schema = Schema.from_dict({"R": ["A"], "S": ["A"]})
+        from repro.constraints import ComparisonOp, DenialConstraint, Predicate, Term
+        from repro.relational import Fact
+
+        dc = DenialConstraint(
+            [("t", "R"), ("s", "S")],
+            [Predicate(Term.col("t", "A"), ComparisonOp.EQ, Term.col("s", "A"))],
+            name="no_shared_values",
+        )
+        db = Database(schema)
+        db.insert(Fact("R", (1,)))
+        db.insert(Fact("S", (1,)))
+        db.insert(Fact("S", (2,)))
+        index = build_violation_index([dc], db)
+        assert index.mi_sets == [frozenset({0, 1})]
+        repair = minimum_subset_repair([dc], db)
+        assert repair.cost == 1.0

@@ -1,0 +1,68 @@
+"""Unit tests for conflict graphs and hypergraphs."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.relational import Database, Schema
+from repro.violations import (
+    build_violation_index,
+    conflict_graph_from_index,
+    conflict_hypergraph_from_index,
+    connected_components,
+)
+from repro.violations.minimal import ViolationIndex
+
+
+@pytest.fixture
+def index_pairs():
+    index = ViolationIndex()
+    index.mi_sets = [frozenset({0, 1}), frozenset({1, 2}), frozenset({5})]
+    return index
+
+
+class TestConflictGraph:
+    def test_from_index(self, index_pairs):
+        graph = conflict_graph_from_index(index_pairs)
+        assert graph.vertices == {0, 1, 2, 5}
+        assert graph.edges == {(0, 1), (1, 2)}
+        assert graph.self_loops == {5}
+
+    def test_wide_set_rejected(self):
+        index = ViolationIndex()
+        index.mi_sets = [frozenset({0, 1, 2})]
+        with pytest.raises(ValueError, match="width"):
+            conflict_graph_from_index(index)
+
+    def test_neighbors_and_degree(self, index_pairs):
+        graph = conflict_graph_from_index(index_pairs)
+        assert graph.neighbors(1) == {0, 2}
+        assert graph.degree(0) == 1
+        assert graph.degree(5) == 0
+
+    def test_components(self, index_pairs):
+        graph = conflict_graph_from_index(index_pairs)
+        components = connected_components(graph)
+        assert components == [{0, 1, 2}, {5}]
+
+    def test_fd_conflict_graph_end_to_end(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (2, "z")])
+        index = build_violation_index([FunctionalDependency("R", {"A"}, {"B"})], db)
+        graph = conflict_graph_from_index(index)
+        assert graph.edges == {(0, 1)}
+        assert graph.num_edges == 1
+
+
+class TestConflictHypergraph:
+    def test_width_and_vertices(self):
+        index = ViolationIndex()
+        index.mi_sets = [frozenset({0, 1, 2}), frozenset({3, 4})]
+        hyper = conflict_hypergraph_from_index(index)
+        assert hyper.width == 3
+        assert not hyper.is_graph
+        assert hyper.vertices() == {0, 1, 2, 3, 4}
+
+    def test_empty(self):
+        hyper = conflict_hypergraph_from_index(ViolationIndex())
+        assert hyper.width == 0
+        assert hyper.is_graph

@@ -1,0 +1,48 @@
+"""Unit tests for SQL generation of conflict queries."""
+
+from repro.constraints import FunctionalDependency, parse_dc
+from repro.relational import Database, Schema
+from repro.violations import conflict_rows, conflict_sql
+
+
+class TestConflictSql:
+    def test_fd_query_shape(self):
+        dc = FunctionalDependency("Tax", {"St"}, {"Rate"}).to_dc()
+        sql = conflict_sql(dc)
+        assert sql.startswith("SELECT DISTINCT T0.ID, T1.ID")
+        assert "FROM Tax AS T0, Tax AS T1" in sql
+        assert "T0.St = T1.St" in sql
+        assert "T0.Rate <> T1.Rate" in sql
+
+    def test_unary_query_shape(self):
+        dc = parse_dc("not(t.High < t.Low)", "Stock")
+        sql = conflict_sql(dc)
+        assert sql == (
+            "SELECT DISTINCT T0.ID FROM Stock AS T0 WHERE T0.High < T0.Low"
+        )
+
+    def test_string_constant_escaped(self):
+        dc = parse_dc("not(t.Name = 'O''Hare')", "Airport")
+        assert "'O''Hare'" in conflict_sql(dc)
+
+    def test_numeric_constant(self):
+        dc = parse_dc("not(t.Score > 100)", "H")
+        assert "T0.Score > 100" in conflict_sql(dc)
+
+
+class TestConflictRows:
+    def test_pairs_and_symmetry(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        dc = FunctionalDependency("R", {"A"}, {"B"}).to_dc()
+        rows = conflict_rows(dc, db)
+        # The raw SQL result contains both orders, like the paper's query.
+        assert sorted(rows) == [(0, 1), (1, 0)]
+
+    def test_nested_loop_matches(self):
+        schema = Schema.from_dict({"R": ["A", "B"]})
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y"), (2, "x")])
+        dc = FunctionalDependency("R", {"A"}, {"B"}).to_dc()
+        assert sorted(conflict_rows(dc, db)) == sorted(
+            conflict_rows(dc, db, force_nested_loop=True)
+        )

@@ -1,0 +1,66 @@
+"""Semantics checks: violation detection tracks database mutations.
+
+The measures are recomputed after every noise/repair step in the
+experiments; these tests pin down that the violation index reflects
+updates, deletions and insertions correctly (no stale caching anywhere).
+"""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.relational import Database, Fact, Schema
+from repro.violations import build_violation_index, is_consistent
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["A", "B"]})
+
+
+@pytest.fixture
+def fd():
+    return FunctionalDependency("R", {"A"}, {"B"})
+
+
+class TestMutationTracking:
+    def test_update_introduces_violation(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (2, "x")])
+        assert is_consistent([fd], db)
+        db.update(1, "A", 1)
+        index = build_violation_index([fd], db)
+        assert index.mi_sets == []  # both have B='x': still consistent
+        db.update(1, "B", "y")
+        index = build_violation_index([fd], db)
+        assert index.mi_sets == [frozenset({0, 1})]
+
+    def test_update_resolves_violation(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        db.update(1, "B", "x")
+        assert is_consistent([fd], db)
+
+    def test_delete_resolves_violation(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        db.delete(0)
+        assert is_consistent([fd], db)
+
+    def test_insert_introduces_violation(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        db.insert(Fact("R", (1, "y")))
+        index = build_violation_index([fd], db)
+        assert index.mi_sets == [frozenset({0, 1})]
+
+    def test_reinserted_id_participates(self, schema, fd):
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "x")])
+        db.delete(0)
+        new_id = db.insert(Fact("R", (1, "z")))
+        assert new_id == 0
+        index = build_violation_index([fd], db)
+        assert index.mi_sets == [frozenset({0, 1})]
+
+    def test_mi_ids_are_live_ids(self, schema, fd):
+        db = Database.from_rows(
+            schema, "R", [(1, "x"), (1, "y"), (1, "z")]
+        )
+        db.delete(1)
+        index = build_violation_index([fd], db)
+        assert index.mi_sets == [frozenset({0, 2})]
