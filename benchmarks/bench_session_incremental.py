@@ -1,0 +1,91 @@
+"""Incremental violation-index maintenance vs per-step full rebuild.
+
+The RNoise sweep of Figure 4b re-measures after every few cell edits; the
+acceptance claim for the measurement-session subsystem is that driving the
+sweep through :class:`~repro.session.MeasurementSession` deltas (a) yields
+*identical* ``MI_Σ(D)`` at every measurement point and (b) is measurably
+faster than rebuilding the index from scratch at each point.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets import generate_sample
+from repro.noise import RNoise
+from repro.session import MeasurementSession
+from repro.violations import build_violation_index
+
+from _common import banner, save_artifact, scaled
+
+DATASETS = ("Tax", "Voter")
+NOISE_SEED = 7
+MEASURE_EVERY = 2
+
+
+def _sweep(name: str, use_session: bool):
+    """One RNoise sweep; returns (per-step MI families, indexing seconds)."""
+    database, constraints = generate_sample(name, scaled(250), seed=43)
+    noise = RNoise(constraints, alpha=0.05, beta=0.0, seed=NOISE_SEED)
+    iterations = noise.total_iterations(database)
+    families: list[list[frozenset[int]]] = []
+    spent = 0.0
+    session = MeasurementSession(constraints, database) if use_session else None
+
+    def record() -> None:
+        nonlocal spent
+        start = time.perf_counter()
+        index = (
+            session.index()
+            if session is not None
+            else build_violation_index(constraints, database)
+        )
+        spent += time.perf_counter() - start
+        families.append(list(index.mi_sets))
+
+    record()
+    for iteration in range(1, iterations + 1):
+        noise.step(database)
+        if iteration % MEASURE_EVERY == 0:
+            record()
+    if session is not None:
+        session.close()
+    return families, spent
+
+
+def run_comparison() -> dict:
+    results = {}
+    for name in DATASETS:
+        full_families, full_seconds = _sweep(name, use_session=False)
+        incremental_families, incremental_seconds = _sweep(name, use_session=True)
+        assert len(full_families) == len(incremental_families)
+        for step, (full, incremental) in enumerate(
+            zip(full_families, incremental_families)
+        ):
+            assert full == incremental, f"{name}: MI mismatch at step {step}"
+        results[name] = {
+            "steps": len(full_families),
+            "full_seconds": full_seconds,
+            "incremental_seconds": incremental_seconds,
+            "speedup": full_seconds / max(incremental_seconds, 1e-12),
+        }
+    return results
+
+
+def test_bench_session_incremental(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = []
+    for name, row in results.items():
+        lines.append(
+            f"[{name}] {row['steps']} measurement points: "
+            f"full rebuild {row['full_seconds']:.3f}s, "
+            f"session deltas {row['incremental_seconds']:.3f}s "
+            f"(speedup ×{row['speedup']:.1f})"
+        )
+        # Identity was asserted step-by-step inside run_comparison; here the
+        # acceptance claim: deltas beat per-step full rebuilds outright.
+        assert row["incremental_seconds"] < row["full_seconds"], name
+    save_artifact(
+        "session_incremental",
+        banner("MeasurementSession vs full rebuild (RNoise sweep)", "\n".join(lines)),
+    )

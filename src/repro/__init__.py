@@ -37,12 +37,14 @@ from .measures import (
     available_measures,
     make_measure,
 )
-from .relational import Database, Fact, Schema
+from .relational import ChangeEvent, Database, Fact, Schema
+from .session import MeasurementSession
 from .violations import ViolationIndex, build_violation_index, is_consistent
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChangeEvent",
     "ComparisonOp",
     "Constraint",
     "Database",
@@ -52,6 +54,7 @@ __all__ = [
     "FIGURE_MEASURES",
     "FunctionalDependency",
     "InconsistencyMeasure",
+    "MeasurementSession",
     "Schema",
     "TABLE2_MEASURES",
     "ViolationIndex",

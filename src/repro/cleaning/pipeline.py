@@ -14,7 +14,7 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure
 from ..relational.database import Database
-from ..violations.minimal import build_violation_index
+from ..session import MeasurementSession
 from .holoclean import CleaningReport, MiniHoloClean
 
 
@@ -48,7 +48,10 @@ def run_incremental_pipeline(
 
     Measures are always evaluated against the *full* constraint set, so the
     trajectory reflects total inconsistency going down as the cleaner handles
-    more and more of the rules — exactly the Figure 7 protocol.
+    more and more of the rules — exactly the Figure 7 protocol.  The cleaner
+    repairs cells in place; a :class:`~repro.session.MeasurementSession`
+    over the working copy turns those repairs into index deltas, so each
+    measurement point only re-examines the repaired facts.
     """
     order = list(permutation) if permutation is not None else list(range(len(constraints)))
     if sorted(order) != list(range(len(constraints))):
@@ -60,19 +63,21 @@ def run_incremental_pipeline(
     )
     current = database.copy()
 
-    def record() -> None:
-        index = build_violation_index(full_set, current)
-        for measure in measures:
-            result.series[measure.name].append(
-                measure.value(full_set, current, index)
-            )
+    with MeasurementSession(full_set, current) as session:
 
-    record()
-    for step in range(1, len(order) + 1):
-        active = [full_set[i] for i in order[:step]]
-        cleaner = MiniHoloClean(active, seed=seed)
-        result.reports.append(cleaner.clean(current))
+        def record() -> None:
+            index = session.index()
+            for measure in measures:
+                result.series[measure.name].append(
+                    measure.value(full_set, current, index)
+                )
+
         record()
+        for step in range(1, len(order) + 1):
+            active = [full_set[i] for i in order[:step]]
+            cleaner = MiniHoloClean(active, seed=seed)
+            result.reports.append(cleaner.clean(current))
+            record()
     return result
 
 

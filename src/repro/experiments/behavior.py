@@ -14,7 +14,8 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure, normalize_series
 from ..relational.database import Database
-from ..violations.minimal import build_violation_index
+from ..session import MeasurementSession
+from ..violations.minimal import ViolationIndex, build_violation_index
 
 
 @dataclass
@@ -48,33 +49,46 @@ def run_behavior_experiment(
     dataset_name: str = "",
     noise_name: str = "",
 ) -> BehaviorResult:
-    """Mutate *database* in place with *noise*, measuring every *k* steps."""
+    """Mutate *database* in place with *noise*, measuring every *k* steps.
+
+    Measurement points share a :class:`~repro.session.MeasurementSession`:
+    the noise generator's in-place cell updates arrive as deltas, so each
+    record patches the violation index instead of rebuilding it from the
+    whole database.
+    """
     result = BehaviorResult(dataset=dataset_name, noise=noise_name)
     for measure in measures:
         result.series[measure.name] = []
 
-    def record(iteration: int) -> None:
-        index = build_violation_index(constraints, database)
-        result.iterations.append(iteration)
-        for measure in measures:
-            result.series[measure.name].append(
-                measure.value(constraints, database, index)
-            )
+    with MeasurementSession(constraints, database) as session:
 
-    record(0)
-    for iteration in range(1, iterations + 1):
-        noise.step(database)
-        if iteration % measure_every == 0:
-            record(iteration)
-    result.violation_ratio = violation_ratio(constraints, database)
+        def record(iteration: int) -> None:
+            index = session.index()
+            result.iterations.append(iteration)
+            for measure in measures:
+                result.series[measure.name].append(
+                    measure.value(constraints, database, index)
+                )
+
+        record(0)
+        for iteration in range(1, iterations + 1):
+            noise.step(database)
+            if iteration % measure_every == 0:
+                record(iteration)
+        result.violation_ratio = violation_ratio(
+            constraints, database, index=session.index()
+        )
     return result
 
 
 def violation_ratio(
-    constraints: Sequence[Constraint], database: Database
+    constraints: Sequence[Constraint],
+    database: Database,
+    index: ViolationIndex | None = None,
 ) -> float:
     """Fraction of violating tuple pairs out of all pairs (paper §6.2.1)."""
-    index = build_violation_index(constraints, database)
+    if index is None:
+        index = build_violation_index(constraints, database)
     pairs = sum(1 for group in index.mi_sets if len(group) == 2)
     n = len(database)
     total = n * (n - 1) / 2

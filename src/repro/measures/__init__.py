@@ -1,6 +1,6 @@
 """Inconsistency measures: I_d, I_MI, I_P, I_MC, I'_MC, I_R, I_lin_R."""
 
-from .base import InconsistencyMeasure, normalize_series
+from .base import ComponentwiseMeasure, InconsistencyMeasure, normalize_series
 from .drastic import DrasticMeasure
 from .linear_relaxation import LinearRelaxationMeasure
 from .mc import MaximalConsistentMeasure, MaximalConsistentPrimeMeasure
@@ -22,6 +22,7 @@ from .registry import (
 )
 
 __all__ = [
+    "ComponentwiseMeasure",
     "DrasticMeasure",
     "FIGURE_MEASURES",
     "InconsistencyMeasure",

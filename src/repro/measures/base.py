@@ -6,6 +6,14 @@ zero on consistent databases and invariant under logical equivalence of Σ
 of them accept an optional precomputed :class:`ViolationIndex` so a batch of
 measures over the same ``(Σ, D)`` shares the (dominant) violation-detection
 work, mirroring how the paper's implementation shares the SQL step.
+
+Measures whose value decomposes over the connected components of the
+conflict (hyper)graph subclass :class:`ComponentwiseMeasure` instead: the
+framework splits the index per component, evaluates each independently, and
+combines (sum for ``I_MI``/``I_P``/``I_R``/``I_lin_R``, product of MCS
+counts for ``I_MC``).  Beyond being the honest algebraic structure, this is
+what turns the exponential solvers tractable in practice — branch-and-bound
+and MIS counting run on small components instead of the whole database.
 """
 
 from __future__ import annotations
@@ -56,6 +64,46 @@ class InconsistencyMeasure(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name})"
+
+
+class ComponentwiseMeasure(InconsistencyMeasure):
+    """A measure evaluated per connected component of ``MI_Σ(D)``.
+
+    ``value`` becomes ``finalize(combine([component_value(c) for c in
+    index.components()]), index)``.  The default :meth:`combine` sums (the
+    additive measures); counting measures override it with a product.  On a
+    consistent database the component list is empty, so ``combine`` sees
+    ``[]`` and must return its monoid identity (``sum`` → 0, product → 1).
+    """
+
+    @abstractmethod
+    def component_value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        component: ViolationIndex,
+    ) -> float:
+        """The measure restricted to one connected component."""
+
+    def combine(self, parts: Sequence[float]) -> float:
+        return float(sum(parts))
+
+    def finalize(self, combined: float, index: ViolationIndex) -> float:
+        """Post-process the combined value (e.g. ``I_MC``'s ``− 1``)."""
+        return combined
+
+    def value(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex | None = None,
+    ) -> float:
+        index = self._ensure_index(constraints, database, index)
+        parts = [
+            self.component_value(constraints, database, component)
+            for component in index.components()
+        ]
+        return float(self.finalize(self.combine(parts), index))
 
 
 def normalize_series(values: Sequence[float]) -> list[float]:

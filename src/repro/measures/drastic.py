@@ -14,7 +14,9 @@ class DrasticMeasure(InconsistencyMeasure):
     """``I_d(Σ, D) = 0`` if ``D ⊨ Σ`` else 1.
 
     Tractable, but useless for progress indication: it violates progression
-    and bounded continuity (Table 2).
+    and bounded continuity (Table 2).  Not component-wise on purpose: with
+    no precomputed index, stopping at the *first* witness beats enumerating
+    anything, and with one, ``is_consistent()`` is already O(1).
     """
 
     name = "I_d"

@@ -13,18 +13,23 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..relational.database import Database
 from ..repairs.costs import CostFunction
-from ..repairs.minimum_repair import repair_lp_relaxation
+from ..repairs.minimum_repair import (
+    component_lp_relaxation,
+    repair_lp_relaxation,
+)
 from ..violations.minimal import ViolationIndex
-from .base import InconsistencyMeasure
+from .base import ComponentwiseMeasure
 
 
-class LinearRelaxationMeasure(InconsistencyMeasure):
+class LinearRelaxationMeasure(ComponentwiseMeasure):
     """``I_lin_R(Σ, D)`` — optimal value of the relaxed repair LP.
 
     Exact solvers: the half-integral max-flow construction when every MI set
     is a pair (FDs, binary DCs), the simplex otherwise.  The half-integral
     path is what makes the measure fast in practice; the generic LP keeps it
-    polynomial for wide DCs.
+    polynomial for wide DCs.  The covering LP is separable over connected
+    components, so each component picks its own solver — one wide DC no
+    longer forces the whole database through the simplex.
     """
 
     name = "I_lin_R"
@@ -33,18 +38,14 @@ class LinearRelaxationMeasure(InconsistencyMeasure):
     def __init__(self, cost_function: CostFunction | None = None) -> None:
         self.cost_function = cost_function
 
-    def value(
+    def component_value(
         self,
         constraints: Sequence[Constraint],
         database: Database,
-        index: ViolationIndex | None = None,
+        component: ViolationIndex,
     ) -> float:
-        index = self._ensure_index(constraints, database, index)
-        value, _ = repair_lp_relaxation(
-            constraints,
-            database,
-            cost_function=self.cost_function,
-            index=index,
+        value, _ = component_lp_relaxation(
+            component, database, cost_function=self.cost_function
         )
         return value
 

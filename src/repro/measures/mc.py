@@ -6,12 +6,17 @@ consistent subsets of D.  ``I'_MC`` additionally counts self-inconsistent
 
 Counting is #P-complete already for FDs (it is maximal-independent-set
 counting on the conflict graph), which the paper demonstrates with 24-hour
-timeouts; the enumerator here accepts a budget and raises
+timeouts.  Two mitigations apply here: ``|MC_Σ(D)|`` is *multiplicative*
+over the connected components of the conflict (hyper)graph, so the
+enumerator only ever runs on one component at a time (turning many of the
+paper's timeout instances into products of tiny counts), and each
+per-component enumeration accepts a budget, raising
 :class:`~repro.solvers.cliques.EnumerationBudgetExceeded` beyond it.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from ..constraints.base import Constraint
@@ -21,10 +26,10 @@ from ..solvers.cliques import (
     maximal_sets_avoiding,
 )
 from ..violations.minimal import ViolationIndex
-from .base import InconsistencyMeasure
+from .base import ComponentwiseMeasure
 
 
-class MaximalConsistentMeasure(InconsistencyMeasure):
+class MaximalConsistentMeasure(ComponentwiseMeasure):
     """``I_MC`` — fails positivity for DCs, monotonicity and progression even
     for FDs, and is #P-hard to compute (Table 2)."""
 
@@ -33,32 +38,42 @@ class MaximalConsistentMeasure(InconsistencyMeasure):
     def __init__(self, enumeration_limit: int | None = 2_000_000) -> None:
         self.enumeration_limit = enumeration_limit
 
-    def value(
+    def combine(self, parts: Sequence[float]) -> float:
+        # |MC| multiplies over components; facts outside every component
+        # belong to every MCS and contribute a factor of 1.
+        return float(math.prod(parts))
+
+    def finalize(self, combined: float, index: ViolationIndex) -> float:
+        return combined - 1.0
+
+    def component_value(
         self,
         constraints: Sequence[Constraint],
         database: Database,
-        index: ViolationIndex | None = None,
+        component: ViolationIndex,
     ) -> float:
-        index = self._ensure_index(constraints, database, index)
-        return float(self._count_mcs(database, index) - 1)
+        return float(self._count_component_mcs(component))
 
-    def _count_mcs(self, database: Database, index: ViolationIndex) -> int:
-        if index.is_consistent():
-            return 1
-        # Self-inconsistent facts belong to no consistent subset; they are
-        # simply absent from every MCS, so drop them (and any MI set that
-        # contains one — those are exactly the singletons after minimization).
-        poisoned = index.self_inconsistent
-        usable = [i for i in database.ids() if i not in poisoned]
-        groups = [group for group in index.mi_sets if len(group) >= 2]
+    def _count_component_mcs(self, component: ViolationIndex) -> int:
+        """``|MC|`` restricted to one connected component's facts.
+
+        Self-inconsistent facts belong to no consistent subset: after
+        minimization they form isolated singleton components, whose only
+        maximal subset is ∅ — a factor of 1.  The filtering below also keeps
+        the count correct on hand-built, unminimized indexes, where a
+        singleton may cohabit a component with wider sets.
+        """
+        poisoned = component.self_inconsistent
+        groups = [
+            group
+            for group in component.mi_sets
+            if len(group) >= 2 and not group & poisoned
+        ]
         if not groups:
             return 1
+        usable = sorted(component.problematic - poisoned)
         if all(len(group) == 2 for group in groups):
             edges = [tuple(sorted(group)) for group in groups]
-            involved = {v for edge in edges for v in edge}
-            # Facts outside the conflict graph are in every MCS and do not
-            # change the count.
-            del involved
             return count_maximal_independent_sets(
                 usable, edges, limit=self.enumeration_limit
             )
@@ -75,12 +90,5 @@ class MaximalConsistentPrimeMeasure(MaximalConsistentMeasure):
 
     name = "I'_MC"
 
-    def value(
-        self,
-        constraints: Sequence[Constraint],
-        database: Database,
-        index: ViolationIndex | None = None,
-    ) -> float:
-        index = self._ensure_index(constraints, database, index)
-        mcs = self._count_mcs(database, index)
-        return float(mcs + len(index.self_inconsistent) - 1)
+    def finalize(self, combined: float, index: ViolationIndex) -> float:
+        return combined + len(index.self_inconsistent) - 1.0

@@ -7,24 +7,24 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..relational.database import Database
 from ..violations.minimal import ViolationIndex
-from .base import InconsistencyMeasure
+from .base import ComponentwiseMeasure
 
 
-class MinimalInconsistentMeasure(InconsistencyMeasure):
+class MinimalInconsistentMeasure(ComponentwiseMeasure):
     """``I_MI(Σ, D) = |MI_Σ(D)|`` (the MI Shapley Inconsistency).
 
     Tractable for DCs (bounded witness width) and monotone for FDs, but it
     violates monotonicity for general DCs (Proposition 1) and bounded
-    continuity (Proposition 4).
+    continuity (Proposition 4).  Decomposes additively: every MI set lives
+    inside exactly one connected component.
     """
 
     name = "I_MI"
 
-    def value(
+    def component_value(
         self,
         constraints: Sequence[Constraint],
         database: Database,
-        index: ViolationIndex | None = None,
+        component: ViolationIndex,
     ) -> float:
-        index = self._ensure_index(constraints, database, index)
-        return float(len(index.mi_sets))
+        return float(len(component.mi_sets))

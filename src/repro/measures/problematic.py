@@ -7,24 +7,24 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..relational.database import Database
 from ..violations.minimal import ViolationIndex
-from .base import InconsistencyMeasure
+from .base import ComponentwiseMeasure
 
 
-class ProblematicFactsMeasure(InconsistencyMeasure):
+class ProblematicFactsMeasure(ComponentwiseMeasure):
     """``I_P(Σ, D) = |∪ MI_Σ(D)|`` — facts occurring in some minimal
     inconsistent subset.
 
     Reacts disproportionally to single operations: deleting one fact can
     clear the problematic status of arbitrarily many others (Proposition 4).
+    Decomposes additively: components partition the problematic facts.
     """
 
     name = "I_P"
 
-    def value(
+    def component_value(
         self,
         constraints: Sequence[Constraint],
         database: Database,
-        index: ViolationIndex | None = None,
+        component: ViolationIndex,
     ) -> float:
-        index = self._ensure_index(constraints, database, index)
-        return float(len(index.problematic))
+        return float(len(component.problematic))

@@ -1,12 +1,14 @@
 """Relational substrate: schemas, facts, databases, CSV I/O."""
 
 from .csvio import dump_csv, load_csv, read_csv, write_csv
-from .database import Database, Fact
+from .database import ChangeEvent, ChangeListener, Database, Fact
 from .schema import RelationSignature, Schema, SchemaError
 from .values import ActiveDomain, Value, active_domain, coerce_value, is_null
 
 __all__ = [
     "ActiveDomain",
+    "ChangeEvent",
+    "ChangeListener",
     "Database",
     "Fact",
     "RelationSignature",

@@ -11,10 +11,29 @@ identifiers, not on fact values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .schema import RelationSignature, Schema, SchemaError
 from .values import ActiveDomain, Value
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One committed mutation of a database.
+
+    ``action`` is ``"insert"``, ``"delete"`` or ``"update"``; ``old`` is the
+    pre-image fact (None for inserts), ``new`` the post-image (None for
+    deletes).  Subscribers (e.g. a measurement session maintaining a live
+    violation index) receive events *after* the database state has changed.
+    """
+
+    action: str
+    identifier: int
+    old: "Fact | None"
+    new: "Fact | None"
+
+
+ChangeListener = Callable[[ChangeEvent], None]
 
 
 @dataclass(frozen=True)
@@ -67,6 +86,34 @@ class Database:
         self._facts: dict[int, Fact] = {}
         self._next_id = 0
         self._domains: dict[tuple[str, str], ActiveDomain] = {}
+        self._listeners: list[ChangeListener] = []
+
+    # ------------------------------------------------------------------
+    # Change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: ChangeListener) -> None:
+        """Register *listener* to be called after every committed mutation.
+
+        Listeners are not copied by :meth:`copy`/:meth:`subset`; a derived
+        database starts with no subscribers.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ChangeListener) -> None:
+        """Remove *listener*; missing listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(
+        self, action: str, identifier: int, old: Fact | None, new: Fact | None
+    ) -> None:
+        if not self._listeners:
+            return
+        event = ChangeEvent(action, identifier, old, new)
+        for listener in list(self._listeners):
+            listener(event)
 
     # ------------------------------------------------------------------
     # Construction
@@ -147,6 +194,7 @@ class Database:
         identifier = self._allocate_id()
         self._facts[identifier] = fact
         self._index_fact(fact, +1)
+        self._notify("insert", identifier, None, fact)
         return identifier
 
     def delete(self, identifier: int) -> bool:
@@ -161,6 +209,7 @@ class Database:
         self._index_fact(fact, -1)
         if identifier < self._next_id:
             self._next_id = min(self._next_id, identifier)
+        self._notify("delete", identifier, fact, None)
         return True
 
     def update(self, identifier: int, attribute: str, value: Value) -> bool:
@@ -178,6 +227,7 @@ class Database:
         new_fact = fact.with_value(signature, attribute, value)
         self._facts[identifier] = new_fact
         self._domain_for(fact.relation, attribute).add(value)
+        self._notify("update", identifier, fact, new_fact)
         return True
 
     def get_cell(self, identifier: int, attribute: str) -> Value:

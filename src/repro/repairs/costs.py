@@ -7,7 +7,7 @@ exactly when a change occurs.  The subset system ``R⊆`` uses the per-fact
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from ..relational.database import Database
 from .operations import DeleteOperation, Operation
@@ -51,10 +51,19 @@ def table_cost(costs: Mapping[int, float]) -> CostFunction:
 
 
 def deletion_costs(
-    database: Database, cost_function: CostFunction
+    database: Database,
+    cost_function: CostFunction,
+    identifiers: Iterable[int] | None = None,
 ) -> dict[int, float]:
-    """Materialize the deletion cost of every fact (hitting-set weights)."""
+    """Materialize the deletion cost of every fact (hitting-set weights).
+
+    *identifiers* restricts the materialization (e.g. to one connected
+    component's problematic facts) — the solvers only read weights of facts
+    appearing in some MI set.
+    """
+    if identifiers is None:
+        identifiers = database.ids()
     return {
         identifier: cost_function(DeleteOperation(identifier), database)
-        for identifier in database.ids()
+        for identifier in identifiers
     }

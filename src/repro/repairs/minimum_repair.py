@@ -40,16 +40,42 @@ def minimum_subset_repair(
     index: ViolationIndex | None = None,
     max_nodes: int = 500_000,
 ) -> SubsetRepair:
-    """Exact minimum-cost deletion repair (value of ``I_R`` under R⊆)."""
+    """Exact minimum-cost deletion repair (value of ``I_R`` under R⊆).
+
+    Solved per connected component of ``MI_Σ(D)``: MI sets never span
+    components, so the optimal global repair is the disjoint union of the
+    per-component optima — the branch-and-bound only ever sees one
+    component's hitting-set instance at a time.
+    """
     if index is None:
         index = build_violation_index(constraints, database)
     if index.is_consistent():
         return SubsetRepair(set(), 0.0)
-    weights = deletion_costs(database, cost_function or subset_cost)
-    value, cover = minimum_hitting_set(
-        list(index.mi_sets), weights, max_nodes=max_nodes
+    total = 0.0
+    cover: set[int] = set()
+    for component in index.components():
+        value, component_cover = component_hitting_set(
+            component, database, cost_function, max_nodes=max_nodes
+        )
+        total += value
+        cover |= component_cover
+    return SubsetRepair(cover, total)
+
+
+def component_hitting_set(
+    component: ViolationIndex,
+    database: Database,
+    cost_function: CostFunction | None = None,
+    max_nodes: int = 500_000,
+) -> tuple[float, set[int]]:
+    """Optimal hitting set of one connected component's MI sets."""
+    weights = deletion_costs(
+        database, cost_function or subset_cost, component.problematic
     )
-    return SubsetRepair(set(cover), value)
+    value, cover = minimum_hitting_set(
+        list(component.mi_sets), weights, max_nodes=max_nodes
+    )
+    return value, set(cover)
 
 
 def greedy_subset_repair(
@@ -81,15 +107,36 @@ def repair_lp_relaxation(
     """
     if index is None:
         index = build_violation_index(constraints, database)
+    x = {identifier: 0.0 for identifier in database.ids()}
     if index.is_consistent():
-        return 0.0, {identifier: 0.0 for identifier in database.ids()}
-    weights = deletion_costs(database, cost_function or subset_cost)
+        return 0.0, x
+    # Covering LPs are separable over connected components: no constraint
+    # row mentions variables of two components, so the optimum is the sum of
+    # the per-component optima and the assignments merge disjointly.
+    total = 0.0
+    for component in index.components():
+        value, assignment = component_lp_relaxation(
+            component, database, cost_function
+        )
+        total += value
+        x.update(assignment)
+    return total, x
 
-    if index.max_width <= 2:
+
+def component_lp_relaxation(
+    component: ViolationIndex,
+    database: Database,
+    cost_function: CostFunction | None = None,
+) -> tuple[float, dict[int, float]]:
+    """The relaxed repair LP restricted to one connected component."""
+    weights = deletion_costs(
+        database, cost_function or subset_cost, component.problematic
+    )
+    if component.max_width <= 2:
         pairs = []
         loops = []
         vertices = set()
-        for group in index.mi_sets:
+        for group in component.mi_sets:
             vertices |= group
             if len(group) == 1:
                 loops.append(next(iter(group)))
@@ -99,27 +146,26 @@ def repair_lp_relaxation(
         value, assignment = vertex_cover_lp(
             sorted(vertices), pairs, weights, self_loops=loops
         )
-        x = {identifier: 0.0 for identifier in database.ids()}
-        for vertex, fraction in assignment.items():
-            x[vertex] = float(fraction)
-        return value, x
+        return value, {
+            vertex: float(fraction) for vertex, fraction in assignment.items()
+        }
 
-    # Hypergraph: generic covering LP through the simplex solver.
-    involved = sorted(index.problematic)
+    # Hypergraph component: generic covering LP through the simplex solver.
+    involved = sorted(component.problematic)
     position = {identifier: i for i, identifier in enumerate(involved)}
     problem = LpProblem(
         num_vars=len(involved),
         objective={position[i]: weights[i] for i in involved},
     )
-    for group in index.mi_sets:
+    for group in component.mi_sets:
         problem.add_row({position[i]: 1.0 for i in group}, Sense.GE, 1.0)
     solution = solve_lp(problem)
     if not solution.is_optimal:  # pragma: no cover - covering LPs are feasible
         raise RuntimeError(f"covering LP not optimal: {solution.status}")
-    x = {identifier: 0.0 for identifier in database.ids()}
-    for identifier, index_ in position.items():
-        x[identifier] = float(solution.values[index_])
-    return float(solution.objective), x
+    return float(solution.objective), {
+        identifier: float(solution.values[index_])
+        for identifier, index_ in position.items()
+    }
 
 
 def integrality_gap_bound(index: ViolationIndex) -> int:

@@ -21,7 +21,8 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure
 from ..relational.database import Database
-from ..violations.minimal import build_violation_index, is_consistent
+from ..session import MeasurementSession
+from ..violations.minimal import ViolationIndex, build_violation_index
 from .operations import DeleteOperation, InsertOperation, Operation, UpdateOperation
 from .system import RepairSystem, subset_system
 
@@ -59,10 +60,16 @@ def score_operations(
     database: Database,
     system: RepairSystem | None = None,
     limit: int | None = None,
+    index: ViolationIndex | None = None,
 ) -> list[ScoredOperation]:
-    """Score every applicable operation, best benefit first."""
+    """Score every applicable operation, best benefit first.
+
+    *index* lets callers running a repair loop (e.g. a measurement session)
+    reuse an incrementally maintained violation index.
+    """
     system = system or subset_system()
-    index = build_violation_index(constraints, database)
+    if index is None:
+        index = build_violation_index(constraints, database)
     current = measure.value(constraints, database, index)
     # Only operations touching problematic facts can reduce inconsistency
     # under anti-monotonic constraints; restrict the scan accordingly.
@@ -113,19 +120,26 @@ def stepwise_resolve(
     working = database.copy()
     steps: list[ScoredOperation] = []
     total_loss = 0.0
-    for _ in range(max_steps):
-        if is_consistent(list(constraints), working):
-            break
-        candidates = score_operations(measure, constraints, working, system)
-        if not candidates or candidates[0].inconsistency_reduction <= 1e-12:
-            break
-        best = candidates[0]
-        best.operation.apply_in_place(working)
-        steps.append(best)
-        total_loss += best.loss
-    return ResolutionTrace(
-        steps=steps,
-        final_inconsistency=measure.value(constraints, working),
-        total_loss=total_loss,
-        consistent=is_consistent(list(constraints), working),
-    )
+    # One operation per round changes one fact: the session's patched index
+    # replaces a full violation rebuild per round (and per consistency check).
+    with MeasurementSession(list(constraints), working) as session:
+        for _ in range(max_steps):
+            index = session.index()
+            if index.is_consistent():
+                break
+            candidates = score_operations(
+                measure, constraints, working, system, index=index
+            )
+            if not candidates or candidates[0].inconsistency_reduction <= 1e-12:
+                break
+            best = candidates[0]
+            best.operation.apply_in_place(working)
+            steps.append(best)
+            total_loss += best.loss
+        final_index = session.index()
+        return ResolutionTrace(
+            steps=steps,
+            final_inconsistency=measure.value(constraints, working, final_index),
+            total_loss=total_loss,
+            consistent=final_index.is_consistent(),
+        )

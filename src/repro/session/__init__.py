@@ -1,0 +1,18 @@
+"""Live measurement sessions with incremental violation-index maintenance.
+
+A :class:`MeasurementSession` owns a mutable ``(Σ, D)`` pair and keeps the
+:class:`~repro.violations.minimal.ViolationIndex` patched under tuple
+inserts, deletes and updates instead of rebuilding it from scratch — the
+regime of every noise sweep and repair loop, where one step touches a
+handful of facts while ``MI_Σ(D)`` is dominated by unchanged witnesses.
+"""
+
+from .session import MeasurementSession
+from .witnesses import EqualityColumnIndex, delta_witnesses, equality_columns
+
+__all__ = [
+    "EqualityColumnIndex",
+    "MeasurementSession",
+    "delta_witnesses",
+    "equality_columns",
+]

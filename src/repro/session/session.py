@@ -1,0 +1,189 @@
+"""The measurement session: a live ``(Σ, D)`` pair with a patched index.
+
+``build_violation_index`` is the dominant step of every measure; a noise
+sweep or repair loop that perturbs a handful of tuples per step pays that
+full cost at every measurement point.  :class:`MeasurementSession` instead
+subscribes to the database's change feed, marks touched fact identifiers
+dirty, and on the next index request
+
+1. retracts every stored witness that binds a dirty fact (via a reverse
+   fact → witness map),
+2. re-enumerates, per lowered DC, only the witnesses touching the dirty
+   facts (hash-join probes restricted to the delta), and
+3. re-minimizes the patched raw family into ``MI_Σ(D)``.
+
+The result is bit-for-bit the index ``build_violation_index`` would return,
+at a cost proportional to the delta rather than to the database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..constraints.base import Constraint
+from ..constraints.dc import DenialConstraint
+from ..relational.database import ChangeEvent, Database, Fact
+from ..relational.values import Value
+from ..violations.minimal import (
+    MinimalViolation,
+    ViolationIndex,
+    _minimize,
+    _witness_id_sets,
+    lower_constraints,
+)
+from .witnesses import EqualityColumnIndex, delta_witnesses
+
+
+class MeasurementSession:
+    """Owns ``(Σ, D)`` and keeps the violation index maintained under deltas.
+
+    The session subscribes to *database* on construction; use it as a
+    context manager (or call :meth:`close`) to detach.  Mutations may go
+    through the session's :meth:`insert`/:meth:`delete`/:meth:`update`
+    conveniences or directly through the database — noise generators and
+    cleaners that mutate in place are tracked all the same.
+    """
+
+    def __init__(
+        self, constraints: Sequence[Constraint], database: Database
+    ) -> None:
+        self.constraints = list(constraints)
+        self.database = database
+        self.dcs: list[DenialConstraint] = lower_constraints(
+            self.constraints, database.schema
+        )
+        self._eq_index = EqualityColumnIndex.for_constraints(
+            database.schema, self.dcs
+        )
+        self._eq_index.build(database)
+        # Per-DC witness stores and the reverse fact → (dc, witness) map.
+        self._witnesses: list[set[frozenset[int]]] = [set() for _ in self.dcs]
+        self._touching: dict[int, set[tuple[int, frozenset[int]]]] = {}
+        self._dirty: set[int] = set()
+        self._cached: ViolationIndex | None = None
+        self._closed = False
+        database.subscribe(self._on_change)
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the database's change feed (idempotent)."""
+        if not self._closed:
+            self.database.unsubscribe(self._on_change)
+            self._closed = True
+
+    def __enter__(self) -> "MeasurementSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Mutation conveniences (the database notifies us back)
+    # ------------------------------------------------------------------
+    def insert(self, fact: Fact) -> int:
+        return self.database.insert(fact)
+
+    def delete(self, identifier: int) -> bool:
+        return self.database.delete(identifier)
+
+    def update(self, identifier: int, attribute: str, value: Value) -> bool:
+        return self.database.update(identifier, attribute, value)
+
+    def apply(self, operations: Iterable) -> None:
+        """Apply repair operations in place (delta-tracked)."""
+        for operation in operations:
+            operation.apply_in_place(self.database)
+
+    # ------------------------------------------------------------------
+    # The maintained index
+    # ------------------------------------------------------------------
+    @property
+    def pending_deltas(self) -> int:
+        """Dirty fact count awaiting the next :meth:`index` call."""
+        return len(self._dirty)
+
+    def index(self) -> ViolationIndex:
+        """The current ``ViolationIndex``, patched with any pending deltas."""
+        if self._dirty:
+            self._flush()
+        if self._cached is None:
+            self._cached = self._assemble()
+        return self._cached
+
+    def is_consistent(self) -> bool:
+        return self.index().is_consistent()
+
+    def measure(self, measure) -> float:
+        """Evaluate one measure against the maintained index."""
+        return measure.value(self.constraints, self.database, self.index())
+
+    def measure_all(self, measures: Iterable) -> dict[str, float]:
+        """Evaluate a batch of measures sharing the maintained index."""
+        index = self.index()
+        return {
+            measure.name: measure.value(self.constraints, self.database, index)
+            for measure in measures
+        }
+
+    def refresh(self) -> ViolationIndex:
+        """Force a from-scratch rebuild (a cross-check tool, not a hot path)."""
+        self._rebuild()
+        return self.index()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _on_change(self, event: ChangeEvent) -> None:
+        self._cached = None
+        self._dirty.add(event.identifier)
+        self._eq_index.apply(event)
+
+    def _flush(self) -> None:
+        dirty, self._dirty = self._dirty, set()
+        for identifier in dirty:
+            for dc_position, witness in self._touching.pop(identifier, ()):
+                self._witnesses[dc_position].discard(witness)
+                for other in witness:
+                    if other != identifier:
+                        entry = self._touching.get(other)
+                        if entry is not None:
+                            entry.discard((dc_position, witness))
+        live = {i for i in dirty if i in self.database}
+        if live:
+            for dc_position, dc in enumerate(self.dcs):
+                for witness in delta_witnesses(
+                    dc, self.database, live, self._eq_index
+                ):
+                    self._add_witness(dc_position, witness)
+
+    def _add_witness(self, dc_position: int, witness: frozenset[int]) -> None:
+        store = self._witnesses[dc_position]
+        if witness in store:
+            return
+        store.add(witness)
+        for identifier in witness:
+            self._touching.setdefault(identifier, set()).add(
+                (dc_position, witness)
+            )
+
+    def _assemble(self) -> ViolationIndex:
+        index = ViolationIndex()
+        raw: set[frozenset[int]] = set()
+        for dc_position, dc in enumerate(self.dcs):
+            for witness in sorted(self._witnesses[dc_position], key=sorted):
+                index.per_constraint.append(MinimalViolation(witness, dc))
+                raw.add(witness)
+        index.mi_sets = _minimize(raw)
+        return index
+
+    def _rebuild(self) -> None:
+        self._witnesses = [set() for _ in self.dcs]
+        self._touching = {}
+        self._dirty.clear()
+        self._cached = None
+        for dc_position, dc in enumerate(self.dcs):
+            for ids in _witness_id_sets(dc, self.database, False):
+                self._add_witness(dc_position, frozenset(ids))

@@ -17,32 +17,74 @@ from .minimal import ViolationIndex
 
 @dataclass
 class ConflictGraph:
-    """Pairwise conflicts plus self-loops (singleton violations)."""
+    """Pairwise conflicts plus self-loops (singleton violations).
+
+    Adjacency lists and a union-find over the vertices are maintained by
+    :meth:`add_edge`, so ``neighbors``/``degree`` are O(1) lookups and
+    ``components()`` needs no edge scan — the solvers and the component-wise
+    measures hit both on their hot paths.
+    """
 
     vertices: set[int] = field(default_factory=set)
     edges: set[tuple[int, int]] = field(default_factory=set)
     self_loops: set[int] = field(default_factory=set)
+    adjacency: dict[int, set[int]] = field(default_factory=dict)
+    _parent: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        # Re-derive the maintained structures when fields were seeded
+        # directly (dataclass construction in tests and fixtures).
+        edges, loops = self.edges, self.self_loops
+        self.edges, self.self_loops = set(), set()
+        self.adjacency = {}
+        self._parent = {}
+        for vertex in self.vertices:
+            self._add_vertex(vertex)
+        for u, v in edges:
+            self.add_edge(u, v)
+        for vertex in loops:
+            self.add_edge(vertex, vertex)
+
+    def _add_vertex(self, vertex: int) -> None:
+        self.vertices.add(vertex)
+        self.adjacency.setdefault(vertex, set())
+        self._parent.setdefault(vertex, vertex)
+
+    def _find(self, vertex: int) -> int:
+        parent = self._parent
+        root = vertex
+        while parent[root] != root:
+            root = parent[root]
+        while parent[vertex] != root:
+            parent[vertex], vertex = root, parent[vertex]
+        return root
 
     def add_edge(self, u: int, v: int) -> None:
+        self._add_vertex(u)
         if u == v:
             self.self_loops.add(u)
-            self.vertices.add(u)
             return
-        self.vertices.add(u)
-        self.vertices.add(v)
+        self._add_vertex(v)
         self.edges.add((min(u, v), max(u, v)))
+        self.adjacency[u].add(v)
+        self.adjacency[v].add(u)
+        ru, rv = self._find(u), self._find(v)
+        if ru != rv:
+            self._parent[rv] = ru
 
     def neighbors(self, vertex: int) -> set[int]:
-        result = set()
-        for u, v in self.edges:
-            if u == vertex:
-                result.add(v)
-            elif v == vertex:
-                result.add(u)
-        return result
+        return set(self.adjacency.get(vertex, ()))
 
     def degree(self, vertex: int) -> int:
-        return len(self.neighbors(vertex))
+        return len(self.adjacency.get(vertex, ()))
+
+    def components(self) -> list[set[int]]:
+        """Connected components (self-loops count as vertices), smallest
+        member first — served from the maintained union-find."""
+        groups: dict[int, set[int]] = {}
+        for vertex in self.vertices:
+            groups.setdefault(self._find(vertex), set()).add(vertex)
+        return sorted(groups.values(), key=min)
 
     @property
     def num_edges(self) -> int:
@@ -96,21 +138,4 @@ def conflict_hypergraph_from_index(index: ViolationIndex) -> ConflictHypergraph:
 
 def connected_components(graph: ConflictGraph) -> list[set[int]]:
     """Connected components of the conflict graph (self-loops count as vertices)."""
-    parent: dict[int, int] = {}
-
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    for vertex in graph.vertices:
-        parent.setdefault(vertex, vertex)
-    for u, v in graph.edges:
-        ru, rv = find(u), find(v)
-        if ru != rv:
-            parent[ru] = rv
-    groups: dict[int, set[int]] = {}
-    for vertex in graph.vertices:
-        groups.setdefault(find(vertex), set()).add(vertex)
-    return sorted(groups.values(), key=lambda group: sorted(group))
+    return graph.components()

@@ -46,6 +46,9 @@ class ViolationIndex:
 
     mi_sets: list[frozenset[int]] = field(default_factory=list)
     per_constraint: list[MinimalViolation] = field(default_factory=list)
+    _components_cache: "tuple[tuple, list[ViolationIndex]] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def problematic(self) -> set[int]:
@@ -64,6 +67,74 @@ class ViolationIndex:
 
     def is_consistent(self) -> bool:
         return not self.mi_sets
+
+    def components(self) -> list["ViolationIndex"]:
+        """Split into sub-indexes per connected component of ``MI_Σ(D)``.
+
+        Two MI sets are connected when they share a fact; the conflict
+        (hyper)graph decomposes along these components, and every measure
+        built on the MI family alone decomposes with it (hitting sets and
+        covering LPs split by additivity, MCS counts by multiplicativity).
+        Components are ordered by their smallest fact identifier.  A raw
+        per-constraint witness may span several components (its extra facts
+        need not be problematic); it is attached to every component it
+        intersects.
+
+        The split is memoized: a batch of component-wise measures over one
+        shared index pays for the union-find once.  The cache key tracks
+        the identity and length of both backing lists, which covers how
+        indexes are actually populated (list assignment and append).
+        """
+        key = (
+            id(self.mi_sets),
+            len(self.mi_sets),
+            id(self.per_constraint),
+            len(self.per_constraint),
+        )
+        if self._components_cache is not None and self._components_cache[0] == key:
+            return self._components_cache[1]
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for group in self.mi_sets:
+            anchor = None
+            for fact_id in group:
+                parent.setdefault(fact_id, fact_id)
+                if anchor is None:
+                    anchor = fact_id
+                else:
+                    ra, rb = find(anchor), find(fact_id)
+                    if ra != rb:
+                        parent[rb] = ra
+        members: dict[int, set[int]] = {}
+        for fact_id in parent:
+            members.setdefault(find(fact_id), set()).add(fact_id)
+        component_ids = sorted(members.values(), key=min)
+        component_of = {
+            fact_id: position
+            for position, ids in enumerate(component_ids)
+            for fact_id in ids
+        }
+        result = [ViolationIndex() for _ in component_ids]
+        for group in self.mi_sets:
+            result[component_of[next(iter(group))]].mi_sets.append(group)
+        for violation in self.per_constraint:
+            touched = {
+                component_of[fact_id]
+                for fact_id in violation.fact_ids
+                if fact_id in component_of
+            }
+            for position in touched:
+                result[position].per_constraint.append(violation)
+        self._components_cache = (key, result)
+        return result
 
 
 def lower_constraints(
@@ -216,8 +287,22 @@ def _wide_witnesses(
 
 def _minimize(sets: set[frozenset[int]]) -> list[frozenset[int]]:
     """⊆-minimal members of the family, deterministic order."""
+    if not sets:
+        return []
+    widths = {len(group) for group in sets}
+    if len(widths) == 1:
+        # Equal-width families are antichains: no proper subset relation can
+        # hold between distinct same-size sets, so the input is its own
+        # minimization (the common all-binary-DC case lands here).
+        return sorted(sets, key=lambda group: (len(group), sorted(group)))
+    if widths == {1, 2}:
+        # Singleton absorption: a pair is non-minimal exactly when it
+        # contains a self-inconsistent fact.
+        poisoned = {next(iter(group)) for group in sets if len(group) == 1}
+        kept = [group for group in sets if len(group) == 1 or not group & poisoned]
+        return sorted(kept, key=lambda group: (len(group), sorted(group)))
     ordered = sorted(sets, key=lambda group: (len(group), sorted(group)))
-    kept: list[frozenset[int]] = []
+    kept = []
     for group in ordered:
         if not any(other <= group for other in kept):
             kept.append(group)
