@@ -19,11 +19,28 @@ def scaled(base: int) -> int:
     return max(10, int(base * float(os.environ.get("REPRO_SCALE", "1"))))
 
 
+def full_scale() -> bool:
+    """Whether this run is at (or above) the reference REPRO_SCALE of 1.
+
+    Reduced-scale runs (CI smoke, quick local checks) keep all correctness
+    assertions but must neither overwrite the committed full-scale artifacts
+    nor enforce wall-clock speedup claims, which are meaningless at toy
+    sizes.
+    """
+    return float(os.environ.get("REPRO_SCALE", "1")) >= 1
+
+
 def save_artifact(name: str, content: str) -> Path:
-    """Write a rendered table/series to benchmarks/results/<name>.txt."""
+    """Write a rendered table/series to benchmarks/results/<name>.txt.
+
+    Reduced-scale runs skip the write so the committed full-scale results
+    are never clobbered by a smoke pass; the content is still echoed via
+    :func:`banner` for inspection.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(content + "\n", encoding="utf-8")
+    if full_scale():
+        path.write_text(content + "\n", encoding="utf-8")
     return path
 
 

@@ -66,11 +66,11 @@ def run_incremental_pipeline(
     with MeasurementSession(full_set, current) as session:
 
         def record() -> None:
-            index = session.index()
-            for measure in measures:
-                result.series[measure.name].append(
-                    measure.value(full_set, current, index)
-                )
+            # Batch evaluation through the session: one shared index patch
+            # plus the per-component value cache — conflict components the
+            # cleaning step left untouched reuse their solver results.
+            for name, value in session.measure_all(measures).items():
+                result.series[name].append(value)
 
         record()
         for step in range(1, len(order) + 1):

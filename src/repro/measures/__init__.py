@@ -1,6 +1,12 @@
 """Inconsistency measures: I_d, I_MI, I_P, I_MC, I'_MC, I_R, I_lin_R."""
 
-from .base import ComponentwiseMeasure, InconsistencyMeasure, normalize_series
+from .base import (
+    ComponentValueCache,
+    ComponentwiseMeasure,
+    InconsistencyMeasure,
+    component_cache_key,
+    normalize_series,
+)
 from .drastic import DrasticMeasure
 from .linear_relaxation import LinearRelaxationMeasure
 from .mc import MaximalConsistentMeasure, MaximalConsistentPrimeMeasure
@@ -8,6 +14,7 @@ from .mi import MinimalInconsistentMeasure
 from .minimal_repair import MinimumRepairMeasure, MinimumUpdateRepairMeasure
 from .problematic import ProblematicFactsMeasure
 from .shapley import (
+    EXACT_SHAPLEY_MAX_FACTS,
     rank_facts_by_blame,
     shapley_values_exact,
     shapley_values_mi,
@@ -22,7 +29,10 @@ from .registry import (
 )
 
 __all__ = [
+    "ComponentValueCache",
     "ComponentwiseMeasure",
+    "EXACT_SHAPLEY_MAX_FACTS",
+    "component_cache_key",
     "DrasticMeasure",
     "FIGURE_MEASURES",
     "InconsistencyMeasure",

@@ -74,6 +74,13 @@ class ComponentwiseMeasure(InconsistencyMeasure):
     additive measures); counting measures override it with a product.  On a
     consistent database the component list is empty, so ``combine`` sees
     ``[]`` and must return its monoid identity (``sum`` → 0, product → 1).
+
+    **Locality contract** (what :class:`ComponentValueCache` relies on):
+    :meth:`component_value` may read the component's MI family and the facts
+    of its problematic members (e.g. their per-fact deletion costs), but
+    nothing else about the database — so two components with equal
+    :func:`component_cache_key` have equal values, and an operation on fact
+    *i* can only change the values of components containing *i*.
     """
 
     @abstractmethod
@@ -104,6 +111,104 @@ class ComponentwiseMeasure(InconsistencyMeasure):
             for component in index.components()
         ]
         return float(self.finalize(self.combine(parts), index))
+
+
+def component_cache_key(
+    component: ViolationIndex, database: Database
+) -> tuple:
+    """Content-addressed identity of one conflict component.
+
+    The key captures everything a :class:`ComponentwiseMeasure` may read
+    (its locality contract): the component's MI family and the facts of its
+    problematic members — the latter because ``I_R``/``I_lin_R`` weights
+    derive from fact values (the per-fact ``cost`` attribute).  Equal keys
+    therefore imply equal ``component_value`` for every registered
+    component-wise measure, no matter which database state produced them.
+    """
+    return (
+        frozenset(component.mi_sets),
+        tuple(
+            sorted(
+                (identifier, database[identifier])
+                for identifier in component.problematic
+            )
+        ),
+    )
+
+
+class ComponentValueCache:
+    """Per-component measure values, memoized across database states.
+
+    The speculative-ΔI engine: an operation touching fact *i* perturbs only
+    the conflict components adjacent to *i*, so when a measure is
+    re-evaluated after a small delta, every unchanged component resolves to
+    the same :func:`component_cache_key` and its (possibly expensive —
+    branch-and-bound, MIS counting, LP) value is served from this cache.
+    Only the affected components pay :meth:`~ComponentwiseMeasure.component_value`
+    again, making ``ΔI`` O(component) instead of O(database).
+
+    Keys embed the measure *instance* (identity-hashed and kept alive by the
+    dict), so differently configured instances of one measure never share
+    entries.  Non-component-wise measures (``I_d``, ``I_R_upd``) bypass the
+    cache — their values do not localize.  The cache self-bounds: on
+    reaching *max_entries* it clears wholesale (content-addressed entries
+    are always safe to drop).
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._values: dict[tuple, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def component_value(
+        self,
+        measure: "ComponentwiseMeasure",
+        constraints: Sequence[Constraint],
+        database: Database,
+        component: ViolationIndex,
+        key: tuple | None = None,
+    ) -> float:
+        """One component's value through the cache.
+
+        *key* lets callers supply a precomputed :func:`component_cache_key`
+        (e.g. memoized per base component across a scoring round).
+        """
+        if key is None:
+            key = component_cache_key(component, database)
+        entry = (measure, key)
+        part = self._values.get(entry)
+        if part is None:
+            if len(self._values) >= self.max_entries:
+                self._values.clear()
+            part = measure.component_value(constraints, database, component)
+            self._values[entry] = part
+            self.misses += 1
+        else:
+            self.hits += 1
+        return part
+
+    def value(
+        self,
+        measure: InconsistencyMeasure,
+        constraints: Sequence[Constraint],
+        database: Database,
+        index: ViolationIndex,
+    ) -> float:
+        """``measure.value`` with per-component memoization when it applies."""
+        if not isinstance(measure, ComponentwiseMeasure):
+            return measure.value(constraints, database, index)
+        parts = [
+            self.component_value(measure, constraints, database, component)
+            for component in index.components()
+        ]
+        return float(measure.finalize(measure.combine(parts), index))
 
 
 def normalize_series(values: Sequence[float]) -> list[float]:

@@ -14,6 +14,13 @@ larger ones, plus the classic closed form for ``I_MI``: under ``I_MI`` the
 Shapley value of a fact is the sum over the MI sets containing it of
 ``1 / |MI set|`` (each minimal inconsistent subset distributes one unit of
 blame equally among its members).
+
+The sampling estimator replays each permutation as a stream of speculative
+inserts into a shadow :class:`~repro.session.MeasurementSession` — one
+incremental delta per prefix instead of ``n`` subset materializations and
+index rebuilds, with per-component measure values cached across prefixes
+*and* permutations (prefixes of different permutations share most of their
+conflict components).
 """
 
 from __future__ import annotations
@@ -24,15 +31,21 @@ from typing import Sequence
 
 from ..constraints.base import Constraint
 from ..relational.database import Database
-from ..violations.minimal import build_violation_index
+from ..violations.minimal import ViolationIndex, build_violation_index
 from .base import InconsistencyMeasure
+
+#: Largest database the exact subset enumeration accepts — and the point
+#: where :func:`rank_facts_by_blame` switches from exact to sampling.  One
+#: constant so the dispatcher can never route a database the enumerator
+#: rejects (or skip one it would accept).
+EXACT_SHAPLEY_MAX_FACTS = 12
 
 
 def shapley_values_exact(
     measure: InconsistencyMeasure,
     constraints: Sequence[Constraint],
     database: Database,
-    max_facts: int = 12,
+    max_facts: int = EXACT_SHAPLEY_MAX_FACTS,
 ) -> dict[int, float]:
     """Exact Shapley value of every fact w.r.t. *measure*.
 
@@ -86,28 +99,40 @@ def shapley_values_sampled(
 
     Each sampled permutation contributes one marginal per fact; the estimate
     is unbiased and concentrates as ``O(1/sqrt(samples))``.
+
+    A permutation is evaluated as a stream of speculative inserts: facts are
+    restored one by one (under their original identifiers) into an initially
+    empty shadow database owned by a measurement session, so each prefix
+    value costs an index *patch* — not a subset copy plus a from-scratch
+    rebuild — and unchanged conflict components are served from the
+    session's component value cache.  A savepoint rollback resets the shadow
+    between permutations.  Values are bit-identical to evaluating
+    ``measure.value(constraints, database.subset(prefix))`` directly.
     """
+    from ..session import MeasurementSession
+
     rng = random.Random(seed)
     ids = database.ids()
     totals = {identifier: 0.0 for identifier in ids}
-    for _ in range(samples):
-        order = list(ids)
-        rng.shuffle(order)
-        previous_value = 0.0
-        prefix: set[int] = set()
-        for identifier in order:
-            prefix.add(identifier)
-            current_value = measure.value(
-                constraints, database.subset(prefix)
-            )
-            totals[identifier] += current_value - previous_value
-            previous_value = current_value
+    shadow = Database(database.schema)
+    with MeasurementSession(list(constraints), shadow) as session:
+        for _ in range(samples):
+            order = list(ids)
+            rng.shuffle(order)
+            with shadow.savepoint():
+                previous_value = 0.0
+                for identifier in order:
+                    shadow.restore(identifier, database[identifier])
+                    current_value = session.measure(measure)
+                    totals[identifier] += current_value - previous_value
+                    previous_value = current_value
     return {identifier: total / samples for identifier, total in totals.items()}
 
 
 def shapley_values_mi(
     constraints: Sequence[Constraint],
     database: Database,
+    index: ViolationIndex | None = None,
 ) -> dict[int, float]:
     """Closed-form Shapley values for ``I_MI`` (polynomial time).
 
@@ -116,8 +141,12 @@ def shapley_values_mi(
     within any permutation exactly the last-arriving member of E completes
     it... averaged over permutations each member is last with probability
     ``1/|E|``.
+
+    *index* short-circuits violation detection — pass ``session.index()``
+    when a measurement session already maintains it.
     """
-    index = build_violation_index(constraints, database)
+    if index is None:
+        index = build_violation_index(constraints, database)
     shapley = {identifier: 0.0 for identifier in database.ids()}
     for group in index.mi_sets:
         share = 1.0 / len(group)
@@ -132,15 +161,22 @@ def rank_facts_by_blame(
     database: Database,
     samples: int = 200,
     seed: int | None = None,
+    index: ViolationIndex | None = None,
 ) -> list[tuple[int, float]]:
     """Facts sorted by (estimated) Shapley responsibility, highest first.
 
     The action-prioritization entry point: clean the top-ranked facts first.
-    Uses the closed form when the measure is I_MI, sampling otherwise.
+    Uses the closed form when the measure is I_MI, exact enumeration up to
+    ``EXACT_SHAPLEY_MAX_FACTS`` facts, sampling beyond.
+
+    *index* is consumed by the closed-form I_MI path only: the exact and
+    sampled estimators evaluate the measure on sub-databases, which a
+    whole-database index cannot describe (the sampler maintains its own
+    shadow session instead).
     """
     if measure.name == "I_MI":
-        values = shapley_values_mi(constraints, database)
-    elif len(database) <= 10:
+        values = shapley_values_mi(constraints, database, index=index)
+    elif len(database) <= EXACT_SHAPLEY_MAX_FACTS:
         values = shapley_values_exact(measure, constraints, database)
     else:
         values = shapley_values_sampled(

@@ -1,7 +1,7 @@
 """Relational substrate: schemas, facts, databases, CSV I/O."""
 
 from .csvio import dump_csv, load_csv, read_csv, write_csv
-from .database import ChangeEvent, ChangeListener, Database, Fact
+from .database import ChangeEvent, ChangeListener, Database, Fact, Savepoint
 from .schema import RelationSignature, Schema, SchemaError
 from .values import ActiveDomain, Value, active_domain, coerce_value, is_null
 
@@ -12,6 +12,7 @@ __all__ = [
     "Database",
     "Fact",
     "RelationSignature",
+    "Savepoint",
     "Schema",
     "SchemaError",
     "Value",

@@ -36,6 +36,81 @@ class ChangeEvent:
 ChangeListener = Callable[[ChangeEvent], None]
 
 
+class Savepoint:
+    """A rollback journal over the change feed.
+
+    Created by :meth:`Database.savepoint`, the journal records every
+    :class:`ChangeEvent` committed while it is active.  :meth:`rollback`
+    replays the *inverse* of each event, newest first, through the ordinary
+    mutation primitives — so subscribers (e.g. a measurement session) observe
+    the undo as a regular stream of deltas and restore their own state — and
+    finally reinstates the identifier allocator, leaving the database
+    bit-identical to its state at the savepoint.
+
+    Used as a context manager the savepoint rolls back on exit (the
+    speculative-evaluation semantics); call :meth:`release` inside the block
+    to keep the changes instead.  Savepoints nest: an inner rollback is
+    journaled by the outer savepoint as ordinary events, and undoing an undo
+    is a no-op by composition.
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._events: list[ChangeEvent] = []
+        self._saved_next_id = database._next_id
+        self._active = True
+        database.subscribe(self._record)
+
+    def _record(self, event: ChangeEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def active(self) -> bool:
+        """Whether the journal is still recording (not released/rolled back)."""
+        return self._active
+
+    @property
+    def journal_length(self) -> int:
+        """Number of committed events recorded so far."""
+        return len(self._events)
+
+    @property
+    def events(self) -> tuple[ChangeEvent, ...]:
+        """The journaled events, oldest first (read-only view)."""
+        return tuple(self._events)
+
+    def release(self) -> None:
+        """Stop journaling and keep all changes (idempotent)."""
+        if self._active:
+            self._database.unsubscribe(self._record)
+            self._active = False
+            self._events.clear()
+
+    def rollback(self) -> None:
+        """Undo every journaled event, newest first."""
+        if not self._active:
+            raise RuntimeError("savepoint already released or rolled back")
+        self._database.unsubscribe(self._record)
+        self._active = False
+        database = self._database
+        for event in reversed(self._events):
+            if event.action == "insert":
+                database.delete(event.identifier)
+            elif event.action == "delete":
+                database.restore(event.identifier, event.old)
+            else:  # update
+                database.replace(event.identifier, event.old)
+        database._next_id = self._saved_next_id
+        self._events.clear()
+
+    def __enter__(self) -> "Savepoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._active:
+            self.rollback()
+
+
 @dataclass(frozen=True)
 class Fact:
     """An expression ``R(c1, ..., ck)`` over the schema.
@@ -229,6 +304,62 @@ class Database:
         self._domain_for(fact.relation, attribute).add(value)
         self._notify("update", identifier, fact, new_fact)
         return True
+
+    def restore(self, identifier: int, fact: Fact) -> bool:
+        """Insert *fact* under the specific free *identifier*.
+
+        The savepoint rollback primitive (undoing a deletion must reinstate
+        the original identifier, not the minimal free one); also the building
+        block for replaying a known ``id → fact`` mapping, e.g. streaming a
+        permutation of an existing database into a shadow session.  Returns
+        False when *identifier* is already taken.
+        """
+        if identifier in self._facts:
+            return False
+        signature = self.schema.signature(fact.relation)
+        if fact.arity != signature.arity:
+            raise SchemaError(
+                f"fact arity {fact.arity} does not match signature arity "
+                f"{signature.arity} of {fact.relation!r}"
+            )
+        self._facts[identifier] = fact
+        self._index_fact(fact, +1)
+        self._notify("insert", identifier, None, fact)
+        return True
+
+    def replace(self, identifier: int, fact: Fact) -> bool:
+        """Swap the whole fact stored under *identifier* for *fact*.
+
+        A multi-attribute update in one committed event — the inverse of an
+        update event, whose pre-image is a whole fact.  The relation must not
+        change.  Returns False when *identifier* is absent.
+        """
+        old = self._facts.get(identifier)
+        if old is None:
+            return False
+        if fact.relation != old.relation or fact.arity != old.arity:
+            raise SchemaError(
+                f"replacement fact {fact!r} does not match the shape of "
+                f"{old!r} under identifier {identifier}"
+            )
+        if old == fact:
+            return True
+        self._index_fact(old, -1)
+        self._facts[identifier] = fact
+        self._index_fact(fact, +1)
+        self._notify("update", identifier, old, fact)
+        return True
+
+    def savepoint(self) -> Savepoint:
+        """Open a rollback journal over subsequent mutations."""
+        return Savepoint(self)
+
+    def peek_next_id(self) -> int:
+        """The identifier the next :meth:`insert` would allocate (no change)."""
+        identifier = self._next_id
+        while identifier in self._facts:
+            identifier += 1
+        return identifier
 
     def get_cell(self, identifier: int, attribute: str) -> Value:
         """Value of ``D[i].A``."""

@@ -20,6 +20,7 @@ from .operations import (
     DeleteOperation,
     InsertOperation,
     Operation,
+    RestoreOperation,
     UpdateOperation,
     apply_sequence,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "InsertOperation",
     "Operation",
     "RepairSystem",
+    "RestoreOperation",
     "SubsetRepair",
     "UpdateOperation",
     "UpdateRepair",

@@ -34,6 +34,23 @@ class Operation(ABC):
     def is_applicable(self, database: Database) -> bool:
         """Whether the operation would change *database*."""
 
+    @abstractmethod
+    def inverse(self, database: Database) -> "Operation | None":
+        """The operation undoing ``self`` on *database* (the pre-state).
+
+        Computed *before* application, from the pre-image the operation would
+        destroy: a deletion's inverse restores the deleted fact under its
+        original identifier, an insertion's inverse deletes the identifier
+        the insert will allocate, an update's inverse writes the old value
+        back.  Returns None when the operation is inapplicable — it would
+        leave the database intact, so there is nothing to undo.  The contract
+        (exercised by the speculative-evaluation tests) is::
+
+            undo = o.inverse(D); o.apply_in_place(D); undo.apply_in_place(D)
+
+        leaves ``D`` bit-identical whenever ``undo`` is not None.
+        """
+
 
 @dataclass(frozen=True)
 class DeleteOperation(Operation):
@@ -46,6 +63,11 @@ class DeleteOperation(Operation):
 
     def is_applicable(self, database: Database) -> bool:
         return self.identifier in database
+
+    def inverse(self, database: Database) -> "Operation | None":
+        if self.identifier not in database:
+            return None
+        return RestoreOperation(self.identifier, database[self.identifier])
 
     def __str__(self) -> str:
         return f"<-{self.identifier}>"
@@ -63,6 +85,9 @@ class InsertOperation(Operation):
 
     def is_applicable(self, database: Database) -> bool:
         return True
+
+    def inverse(self, database: Database) -> "Operation | None":
+        return DeleteOperation(database.peek_next_id())
 
     def __str__(self) -> str:
         return f"<+{self.fact!r}>"
@@ -90,8 +115,45 @@ class UpdateOperation(Operation):
             return False
         return fact.get(signature, self.attribute) != self.value
 
+    def inverse(self, database: Database) -> "Operation | None":
+        if not self.is_applicable(database):
+            return None
+        fact = database[self.identifier]
+        signature = database.schema.signature(fact.relation)
+        return UpdateOperation(
+            self.identifier, self.attribute, fact.get(signature, self.attribute)
+        )
+
     def __str__(self) -> str:
         return f"<{self.identifier}.{self.attribute} <- {self.value!r}>"
+
+
+@dataclass(frozen=True)
+class RestoreOperation(Operation):
+    """``⟨+f @ i⟩`` — reinstate fact *f* under the specific identifier *i*.
+
+    The inverse of a deletion: a plain insertion would allocate the minimal
+    free identifier, which need not be the one the deleted fact occupied
+    (e.g. after deleting two facts, undoing them in reverse order must not
+    shuffle their identifiers).  Inapplicable when the identifier is taken.
+    """
+
+    identifier: int
+    fact: Fact
+
+    def apply_in_place(self, database: Database) -> bool:
+        return database.restore(self.identifier, self.fact)
+
+    def is_applicable(self, database: Database) -> bool:
+        return self.identifier not in database
+
+    def inverse(self, database: Database) -> "Operation | None":
+        if self.identifier in database:
+            return None
+        return DeleteOperation(self.identifier)
+
+    def __str__(self) -> str:
+        return f"<+{self.fact!r} @ {self.identifier}>"
 
 
 def apply_sequence(database: Database, operations: list[Operation]) -> Database:

@@ -23,7 +23,13 @@ from ..measures.base import InconsistencyMeasure
 from ..relational.database import Database
 from ..session import MeasurementSession
 from ..violations.minimal import ViolationIndex, build_violation_index
-from .operations import DeleteOperation, InsertOperation, Operation, UpdateOperation
+from .operations import (
+    DeleteOperation,
+    InsertOperation,
+    Operation,
+    RestoreOperation,
+    UpdateOperation,
+)
 from .system import RepairSystem, subset_system
 
 
@@ -35,8 +41,8 @@ def information_loss(operation: Operation, database: Database) -> float:
         return float(database[operation.identifier].arity)
     if isinstance(operation, UpdateOperation):
         return 1.0 if operation.is_applicable(database) else 0.0
-    if isinstance(operation, InsertOperation):
-        return 0.0
+    if isinstance(operation, (InsertOperation, RestoreOperation)):
+        return 0.0  # adding facts (back) never destroys information
     raise TypeError(f"unknown operation type {type(operation).__name__}")
 
 
@@ -61,27 +67,45 @@ def score_operations(
     system: RepairSystem | None = None,
     limit: int | None = None,
     index: ViolationIndex | None = None,
+    session: MeasurementSession | None = None,
 ) -> list[ScoredOperation]:
     """Score every applicable operation, best benefit first.
 
-    *index* lets callers running a repair loop (e.g. a measurement session)
-    reuse an incrementally maintained violation index.
+    *limit* bounds the number of *scored* candidates; operations skipped by
+    the problematic-fact filter do not consume the budget.
+
+    *session* switches candidate evaluation to speculative what-if deltas:
+    each operation is applied through the session's change feed under a
+    savepoint, measured against the patched index (unchanged conflict
+    components served from the per-component value cache), and rolled back —
+    no database copy, no index rebuild, same values as the copy path.  The
+    session must own *database*.  *index* (copy path only) lets callers
+    reuse a precomputed violation index.
     """
     system = system or subset_system()
-    if index is None:
-        index = build_violation_index(constraints, database)
-    current = measure.value(constraints, database, index)
+    if session is not None:
+        if session.database is not database:
+            raise ValueError("session must own the database being scored")
+        index = session.index()
+        current = session.measure(measure)
+    else:
+        if index is None:
+            index = build_violation_index(constraints, database)
+        current = measure.value(constraints, database, index)
     # Only operations touching problematic facts can reduce inconsistency
     # under anti-monotonic constraints; restrict the scan accordingly.
     problematic = index.problematic
     scored: list[ScoredOperation] = []
-    for count, operation in enumerate(system.applicable_operations(database)):
-        if limit is not None and count >= limit:
+    for operation in system.applicable_operations(database):
+        if limit is not None and len(scored) >= limit:
             break
         target = getattr(operation, "identifier", None)
         if target is not None and problematic and target not in problematic:
             continue
-        after = measure.value(constraints, operation.apply(database))
+        if session is not None:
+            after = session.speculate_value([operation], measure)
+        else:
+            after = measure.value(constraints, operation.apply(database))
         scored.append(
             ScoredOperation(
                 operation=operation,
@@ -121,14 +145,16 @@ def stepwise_resolve(
     steps: list[ScoredOperation] = []
     total_loss = 0.0
     # One operation per round changes one fact: the session's patched index
-    # replaces a full violation rebuild per round (and per consistency check).
+    # replaces a full violation rebuild per round (and per consistency check),
+    # and candidate scoring runs speculatively against the same session —
+    # each candidate costs one delta patch instead of a copy plus a rebuild.
     with MeasurementSession(list(constraints), working) as session:
         for _ in range(max_steps):
             index = session.index()
             if index.is_consistent():
                 break
             candidates = score_operations(
-                measure, constraints, working, system, index=index
+                measure, constraints, working, system, session=session
             )
             if not candidates or candidates[0].inconsistency_reduction <= 1e-12:
                 break
@@ -139,7 +165,7 @@ def stepwise_resolve(
         final_index = session.index()
         return ResolutionTrace(
             steps=steps,
-            final_inconsistency=measure.value(constraints, working, final_index),
+            final_inconsistency=session.measure(measure),
             total_loss=total_loss,
             consistent=final_index.is_consistent(),
         )

@@ -5,6 +5,10 @@ A :class:`MeasurementSession` owns a mutable ``(Σ, D)`` pair and keeps the
 inserts, deletes and updates instead of rebuilding it from scratch — the
 regime of every noise sweep and repair loop, where one step touches a
 handful of facts while ``MI_Σ(D)`` is dominated by unchanged witnesses.
+Candidate repair operations are scored copy-free through
+:meth:`~repro.session.session.MeasurementSession.speculate` — apply under a
+savepoint, read the patched index with per-component value caching, roll
+back by inverse events.
 """
 
 from .session import MeasurementSession

@@ -14,6 +14,14 @@ dirty, and on the next index request
 
 The result is bit-for-bit the index ``build_violation_index`` would return,
 at a cost proportional to the delta rather than to the database.
+
+On top of the maintained index the session offers **speculative
+evaluation**: :meth:`MeasurementSession.speculate` scores candidate repair
+operations by applying them through the change feed under a
+:class:`~repro.relational.database.Savepoint`, reading measures off the
+patched index (with per-component value caching — the component-localized
+``ΔI``), and rolling back by replaying inverse events — no database copy,
+no full rebuild, bit-identical to the copy-and-rebuild result.
 """
 
 from __future__ import annotations
@@ -22,7 +30,12 @@ from typing import Iterable, Mapping, Sequence
 
 from ..constraints.base import Constraint
 from ..constraints.dc import DenialConstraint
-from ..relational.database import ChangeEvent, Database, Fact
+from ..measures.base import (
+    ComponentValueCache,
+    ComponentwiseMeasure,
+    component_cache_key,
+)
+from ..relational.database import ChangeEvent, Database, Fact, Savepoint
 from ..relational.values import Value
 from ..violations.minimal import (
     MinimalViolation,
@@ -61,6 +74,11 @@ class MeasurementSession:
         self._touching: dict[int, set[tuple[int, frozenset[int]]]] = {}
         self._dirty: set[int] = set()
         self._cached: ViolationIndex | None = None
+        self.component_cache = ComponentValueCache()
+        # Mutation epoch and the memoized base split for speculative ΔI.
+        self._epoch = 0
+        self._spec_base: tuple | None = None
+        self._spec_base_epoch = -1
         self._closed = False
         database.subscribe(self._on_change)
         self._rebuild()
@@ -117,14 +135,24 @@ class MeasurementSession:
         return self.index().is_consistent()
 
     def measure(self, measure) -> float:
-        """Evaluate one measure against the maintained index."""
-        return measure.value(self.constraints, self.database, self.index())
+        """Evaluate one measure against the maintained index.
+
+        Component-wise measures are served through the session's
+        :class:`~repro.measures.base.ComponentValueCache`: only conflict
+        components whose content changed since the last evaluation pay
+        their solver again.
+        """
+        return self.component_cache.value(
+            measure, self.constraints, self.database, self.index()
+        )
 
     def measure_all(self, measures: Iterable) -> dict[str, float]:
         """Evaluate a batch of measures sharing the maintained index."""
         index = self.index()
         return {
-            measure.name: measure.value(self.constraints, self.database, index)
+            measure.name: self.component_cache.value(
+                measure, self.constraints, self.database, index
+            )
             for measure in measures
         }
 
@@ -134,10 +162,186 @@ class MeasurementSession:
         return self.index()
 
     # ------------------------------------------------------------------
+    # Speculative evaluation (what-if deltas)
+    # ------------------------------------------------------------------
+    def savepoint(self) -> Savepoint:
+        """Open a rollback journal on the owned database.
+
+        ``with session.savepoint(): ...`` applies mutations through the
+        change feed as usual and, on exit, replays their inverses — the
+        session observes the undo as ordinary deltas and its index returns
+        to the pre-savepoint state bit-for-bit.
+        """
+        return self.database.savepoint()
+
+    def speculate(self, operations: Iterable, measures: Iterable) -> dict[str, float]:
+        """Measure values *as if* *operations* had been applied — copy-free.
+
+        Applies the operations in place under a savepoint, flushes the
+        delta-restricted witness patch, evaluates each measure against the
+        patched state, then rolls back.  The returned values are
+        bit-identical to copying the database, applying the operations, and
+        rebuilding from scratch.
+
+        When every requested measure is component-wise, evaluation is
+        **component-localized ΔI**: only the conflict components reachable
+        from the operations' touched facts are re-split and re-solved
+        (O(component)); every other component reuses the base split and the
+        per-component value cache, so no full index is ever assembled.
+        Whole-database measures (``I_d``, ``I_R_upd``) force the generic
+        path against the fully assembled patched index.
+        """
+        measures = list(measures)
+        localized = all(
+            isinstance(measure, ComponentwiseMeasure) for measure in measures
+        )
+        base = self._speculation_base() if localized else None
+        with self.savepoint() as savepoint:
+            for operation in operations:
+                operation.apply_in_place(self.database)
+            if localized:
+                touched = {event.identifier for event in savepoint.events}
+                if self._dirty:
+                    self._flush()
+                values = self._localized_values(base, touched, measures)
+            else:
+                index = self.index()
+                values = {
+                    measure.name: self.component_cache.value(
+                        measure, self.constraints, self.database, index
+                    )
+                    for measure in measures
+                }
+        if localized:
+            # The rollback restored the base state; the events it emitted
+            # advanced the epoch but did not invalidate the memoized split.
+            self._spec_base_epoch = self._epoch
+        return values
+
+    def speculate_value(self, operations: Iterable, measure) -> float:
+        """One-measure :meth:`speculate` (the candidate-scoring hot path)."""
+        return self.speculate(operations, (measure,))[measure.name]
+
+    def _speculation_base(self) -> tuple:
+        """The memoized base component split for localized speculation.
+
+        Returns ``(components, position_of, attached, minima, keys)``:
+        *position_of* maps every problematic fact to its component position;
+        *attached* holds, per component, the deduplicated raw witnesses
+        attached to it; *minima* the per-component smallest fact id (the
+        ``components()`` ordering key); *keys* the per-component content
+        cache keys.  All of it is computed once per base state and reused
+        across every candidate scored against it — rolling a speculation
+        back restores the base, so the split stays valid for the whole
+        scoring round.
+        """
+        if self._spec_base is None or self._spec_base_epoch != self._epoch:
+            components = self.index().components()
+            position_of: dict[int, int] = {}
+            attached: list[set[frozenset[int]]] = []
+            minima: list[int] = []
+            keys: list[tuple] = []
+            for position, component in enumerate(components):
+                facts = component.problematic
+                for fact in facts:
+                    position_of[fact] = position
+                attached.append(
+                    {violation.fact_ids for violation in component.per_constraint}
+                )
+                minima.append(min(facts))
+                keys.append(component_cache_key(component, self.database))
+            self._spec_base = (components, position_of, attached, minima, keys)
+            self._spec_base_epoch = self._epoch
+        return self._spec_base
+
+    def _localized_values(
+        self, base: tuple, touched: set[int], measures: list
+    ) -> dict[str, float]:
+        """Evaluate component-wise measures against the patched stores.
+
+        The affected region is the closure of the base components reachable
+        from *touched*: directly (a touched fact is a member), through a
+        live witness of a touched fact (post-flush ``self._touching`` —
+        covers freshly created conflicts), or through a raw witness attached
+        to an already-affected component (a witness spanning components can
+        become minimal when its subset is retracted, merging them).  The
+        region's patched witnesses are re-minimized and re-split locally;
+        every other component reuses its base split and cached value.  The
+        merged component list is ordered by smallest member — exactly the
+        ``components()`` order of the patched index — so ``combine`` runs
+        in the same float order as the from-scratch path.
+        """
+        components, position_of, attached, minima, keys = base
+        affected: set[int] = set()
+        stack: list[int] = []
+        live: set[frozenset[int]] = set()
+
+        def pull(position: int) -> None:
+            if position not in affected:
+                affected.add(position)
+                stack.append(position)
+
+        for fact in touched:
+            position = position_of.get(fact)
+            if position is not None:
+                pull(position)
+            for _, witness in self._touching.get(fact, ()):
+                if witness not in live:
+                    live.add(witness)
+                    for other in witness:
+                        other_position = position_of.get(other)
+                        if other_position is not None:
+                            pull(other_position)
+        while stack:
+            for witness in attached[stack.pop()]:
+                for other in witness:
+                    other_position = position_of.get(other)
+                    if other_position is not None:
+                        pull(other_position)
+        # The region's patched raw family: attached witnesses that dodge the
+        # delta are still stored; witnesses binding a touched fact are live
+        # only if the flush kept them (collected from _touching above).
+        for position in affected:
+            for witness in attached[position]:
+                if touched.isdisjoint(witness):
+                    live.add(witness)
+        regional = ViolationIndex()
+        regional.mi_sets = _minimize(live)
+        # (minimum, component, base cache key or None) — merged patched order.
+        ordered: list[tuple[int, ViolationIndex, tuple | None]] = [
+            (minima[position], component, keys[position])
+            for position, component in enumerate(components)
+            if position not in affected
+        ]
+        ordered.extend(
+            (min(component.problematic), component, None)
+            for component in regional.components()
+        )
+        ordered.sort(key=lambda entry: entry[0])
+        pseudo = ViolationIndex()
+        pseudo.mi_sets = [
+            group for _, component, _ in ordered for group in component.mi_sets
+        ]
+        cache = self.component_cache
+        values: dict[str, float] = {}
+        for measure in measures:
+            parts = [
+                cache.component_value(
+                    measure, self.constraints, self.database, component, key
+                )
+                for _, component, key in ordered
+            ]
+            values[measure.name] = float(
+                measure.finalize(measure.combine(parts), pseudo)
+            )
+        return values
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _on_change(self, event: ChangeEvent) -> None:
         self._cached = None
+        self._epoch += 1
         self._dirty.add(event.identifier)
         self._eq_index.apply(event)
 

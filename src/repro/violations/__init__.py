@@ -3,6 +3,7 @@
 from .conflict_graph import (
     ConflictGraph,
     ConflictHypergraph,
+    affected_components,
     conflict_graph_from_index,
     conflict_hypergraph_from_index,
     connected_components,
@@ -23,6 +24,7 @@ __all__ = [
     "ConflictHypergraph",
     "MinimalViolation",
     "ViolationIndex",
+    "affected_components",
     "build_violation_index",
     "conflict_graph_from_index",
     "conflict_hypergraph_from_index",

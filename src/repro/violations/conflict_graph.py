@@ -139,3 +139,33 @@ def conflict_hypergraph_from_index(index: ViolationIndex) -> ConflictHypergraph:
 def connected_components(graph: ConflictGraph) -> list[set[int]]:
     """Connected components of the conflict graph (self-loops count as vertices)."""
     return graph.components()
+
+
+def affected_components(
+    index: ViolationIndex, fact_ids: Iterable[int]
+) -> list[int]:
+    """Positions (in ``index.components()`` order) of components touching
+    any fact in *fact_ids*.
+
+    The locality invariant behind speculative ``ΔI``: an operation on fact
+    *i* can only perturb the conflict components whose problematic set
+    contains *i* (plus possibly create or merge components at *i* itself);
+    every other component keeps both its MI family and its member facts, so
+    any cached per-component measure value remains valid.  Component-wise
+    measures may exploit this; whole-database measures (``I_d``, ``I_R_upd``)
+    may not.
+
+    This is the direct-membership projection of the invariant — sufficient
+    when *fact_ids* have not yet been mutated.  Deciding which components
+    an *applied* delta perturbed additionally requires closing over raw
+    witnesses that span components (a retraction can promote a spanning
+    witness to minimal and merge them); that full closure lives in
+    ``MeasurementSession._localized_values``, the one place that maintains
+    the post-delta adjacency it needs.
+    """
+    wanted = set(fact_ids)
+    return [
+        position
+        for position, component in enumerate(index.components())
+        if component.problematic & wanted
+    ]

@@ -1,9 +1,12 @@
 """Tests for Shapley values of inconsistency."""
 
+import random
+
 import pytest
 
 from repro.constraints import FunctionalDependency
 from repro.measures import (
+    EXACT_SHAPLEY_MAX_FACTS,
     make_measure,
     rank_facts_by_blame,
     shapley_values_exact,
@@ -11,6 +14,7 @@ from repro.measures import (
     shapley_values_sampled,
 )
 from repro.relational import Database, Schema
+from repro.violations import build_violation_index
 
 
 @pytest.fixture
@@ -74,6 +78,15 @@ class TestClosedForm:
         closed = shapley_values_mi([fd], db)
         assert closed == {0: 0.5, 1: 0.5}
 
+    def test_accepts_prebuilt_index(self, schema, fd):
+        db = Database.from_rows(
+            schema, "R", [(1, "x"), (1, "y"), (2, "p"), (2, "q")]
+        )
+        index = build_violation_index([fd], db)
+        assert shapley_values_mi([fd], db, index=index) == shapley_values_mi(
+            [fd], db
+        )
+
 
 class TestSampled:
     def test_unbiased_on_small_instance(self, schema, fd):
@@ -93,6 +106,35 @@ class TestSampled:
         sampled = shapley_values_sampled(measure, [fd], db, samples=5, seed=2)
         assert sum(sampled.values()) == pytest.approx(measure.value([fd], db))
 
+    @pytest.mark.parametrize("name", ["I_MI", "I_P", "I_R", "I_lin_R"])
+    def test_speculative_streams_match_subset_rebuilds(self, schema, fd, name):
+        # The session-backed sampler must be bit-identical to the naive
+        # subset-materialize-and-rebuild estimator on the same permutations.
+        db = Database.from_rows(
+            schema,
+            "R",
+            [(1, "x"), (1, "y"), (1, "z"), (2, "p"), (2, "q"), (3, "k")],
+        )
+        measure = make_measure(name)
+        seed, samples = 11, 12
+        sampled = shapley_values_sampled(
+            measure, [fd], db, samples=samples, seed=seed
+        )
+        rng = random.Random(seed)
+        ids = db.ids()
+        reference = {identifier: 0.0 for identifier in ids}
+        for _ in range(samples):
+            order = list(ids)
+            rng.shuffle(order)
+            previous, prefix = 0.0, set()
+            for identifier in order:
+                prefix.add(identifier)
+                current = measure.value([fd], db.subset(prefix))
+                reference[identifier] += current - previous
+                previous = current
+        reference = {i: total / samples for i, total in reference.items()}
+        assert sampled == reference
+
 
 class TestRanking:
     def test_rank_uses_closed_form_for_imi(self, schema, fd):
@@ -108,3 +150,16 @@ class TestRanking:
         ranked = rank_facts_by_blame(make_measure("I_R"), [fd], db)
         assert len(ranked) == 2
         assert ranked[0][1] == pytest.approx(0.5)
+
+    def test_guard_matches_exact_enumerator(self, schema, fd):
+        # 11 facts: above the old dispatch threshold (10), within the exact
+        # enumerator's limit — the dispatcher must route to exact, not
+        # sampling, and the enumerator must accept it.
+        rows = [(1, "x"), (1, "y")] + [(k, "c") for k in range(2, 11)]
+        db = Database.from_rows(schema, "R", rows)
+        assert len(db) == 11 <= EXACT_SHAPLEY_MAX_FACTS
+        measure = make_measure("I_P")
+        ranked = dict(rank_facts_by_blame(measure, [fd], db))
+        exact = shapley_values_exact(measure, [fd], db)
+        for identifier in db.ids():
+            assert ranked[identifier] == pytest.approx(exact[identifier])

@@ -47,6 +47,12 @@ class TestInformationLoss:
         db = Database.from_rows(schema, "R", [(1, "x")])
         assert information_loss(InsertOperation(Fact("R", (2, "y"))), db) == 0.0
 
+    def test_restore_costs_zero(self, schema):
+        from repro.repairs import RestoreOperation
+
+        db = Database.from_rows(schema, "R", [(1, "x")])
+        assert information_loss(RestoreOperation(5, Fact("R", (2, "y"))), db) == 0.0
+
 
 class TestScoring:
     def test_best_operation_breaks_most_conflicts(self, schema, fd):
@@ -71,6 +77,49 @@ class TestScoring:
         )
         assert scored[0].inconsistency_reduction == pytest.approx(1.0)
         assert scored[0].loss == 1.0  # single-cell update beats deletion
+
+    def test_limit_counts_only_scored_candidates(self, schema, fd):
+        # Four clean facts precede the conflict pair in identifier order;
+        # the problematic-fact filter skips them and they must not consume
+        # the budget.
+        db = Database.from_rows(
+            schema,
+            "R",
+            [(10, "a"), (11, "b"), (12, "c"), (13, "d"), (1, "x"), (1, "y")],
+        )
+        scored = score_operations(make_measure("I_MI"), [fd], db, limit=2)
+        assert len(scored) == 2
+        assert {s.operation.identifier for s in scored} == {4, 5}
+
+    def test_speculative_scoring_matches_copy_path(self, schema, fd):
+        from repro.session import MeasurementSession
+
+        db = Database.from_rows(
+            schema, "R", [(1, "x"), (1, "y"), (1, "z"), (2, "p"), (2, "q")]
+        )
+        for name in ("I_MI", "I_R", "I_lin_R"):
+            measure = make_measure(name)
+            by_copy = score_operations(measure, [fd], db)
+            with MeasurementSession([fd], db) as session:
+                speculative = score_operations(
+                    measure, [fd], db, session=session
+                )
+            assert [
+                (str(s.operation), s.inconsistency_reduction, s.loss)
+                for s in by_copy
+            ] == [
+                (str(s.operation), s.inconsistency_reduction, s.loss)
+                for s in speculative
+            ], name
+
+    def test_session_must_own_the_database(self, schema, fd):
+        from repro.session import MeasurementSession
+
+        db = Database.from_rows(schema, "R", [(1, "x"), (1, "y")])
+        other = db.copy()
+        with MeasurementSession([fd], other) as session:
+            with pytest.raises(ValueError, match="own"):
+                score_operations(make_measure("I_MI"), [fd], db, session=session)
 
 
 class TestStepwiseResolve:

@@ -1,0 +1,275 @@
+"""Speculative what-if evaluation: copy-free scoring and savepoint rollback.
+
+Two randomized invariants anchor the subsystem:
+
+* ``session.speculate(ops, measures)`` returns, for every measure in the
+  registry, exactly the value of the copy-apply-rebuild path
+  (``measure.value(Σ, ops(D.copy()))``);
+* rolling back a savepoint restores a bit-identical database (facts,
+  identifier allocator, active domains), equality-column index and witness
+  store — cross-checked against ``session.refresh()``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.measures import TABLE2_MEASURES, available_measures, make_measure
+from repro.relational import Database, Fact, Schema
+from repro.repairs.operations import (
+    DeleteOperation,
+    InsertOperation,
+    RestoreOperation,
+    UpdateOperation,
+    apply_sequence,
+)
+from repro.session import MeasurementSession
+from repro.violations import affected_components, build_violation_index
+
+from .test_session import _constraint_suites, _random_fact, _random_mutation
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_dict({"R": ["A", "B", "C"]})
+
+
+def _random_operations(rng: random.Random, database: Database) -> list:
+    """A batch of 1-3 candidate operations against the current state."""
+    operations = []
+    for _ in range(rng.randint(1, 3)):
+        identifiers = database.ids()
+        roll = rng.random()
+        if roll < 0.4 and identifiers:
+            operations.append(DeleteOperation(rng.choice(identifiers)))
+        elif roll < 0.8 and identifiers:
+            attribute = rng.choice(["A", "B", "C"])
+            value = rng.randint(0, 6) if rng.random() < 0.7 else rng.choice("xyz")
+            operations.append(
+                UpdateOperation(rng.choice(identifiers), attribute, value)
+            )
+        else:
+            operations.append(InsertOperation(_random_fact(rng)))
+    return operations
+
+
+def _domain_snapshot(database: Database) -> dict:
+    return {
+        key: {value: domain.frequency(value) for value in domain}
+        for key, domain in database._domains.items()
+        if len(domain) > 0
+    }
+
+
+def _eq_index_snapshot(session: MeasurementSession) -> dict:
+    return {
+        column: {value: set(ids) for value, ids in buckets.items()}
+        for column, buckets in session._eq_index._maps.items()
+    }
+
+
+def _witness_snapshot(session: MeasurementSession) -> tuple:
+    return (
+        [set(store) for store in session._witnesses],
+        {key: set(entries) for key, entries in session._touching.items()},
+    )
+
+
+class TestSpeculateEqualsCopyRebuild:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_registry_small_database(self, schema, seed):
+        """Every registered measure, including the whole-database ones."""
+        rng = random.Random(seed)
+        database = Database.from_facts(
+            schema, [_random_fact(rng) for _ in range(8)]
+        )
+        constraints = _constraint_suites()["binary"]
+        measures = [make_measure(name) for name in available_measures()]
+        with MeasurementSession(constraints, database) as session:
+            for _ in range(10):
+                operations = _random_operations(rng, database)
+                expected = {
+                    measure.name: measure.value(
+                        constraints, apply_sequence(database, operations)
+                    )
+                    for measure in measures
+                }
+                assert session.speculate(operations, measures) == expected
+                # Speculation must not leak into the live state.
+                assert session.index().mi_sets == build_violation_index(
+                    constraints, database
+                ).mi_sets
+                _random_mutation(rng, database)
+
+    @pytest.mark.parametrize("suite", ["binary", "wide"])
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_table2_measures_with_mutation_interleaving(self, schema, suite, seed):
+        rng = random.Random(seed)
+        database = Database.from_facts(
+            schema, [_random_fact(rng) for _ in range(16)]
+        )
+        constraints = _constraint_suites()[suite]
+        measures = [make_measure(name) for name in TABLE2_MEASURES]
+        with MeasurementSession(constraints, database) as session:
+            for _ in range(15):
+                operations = _random_operations(rng, database)
+                expected = {
+                    measure.name: measure.value(
+                        constraints, apply_sequence(database, operations)
+                    )
+                    for measure in measures
+                }
+                assert session.speculate(operations, measures) == expected
+                for _ in range(rng.randint(0, 2)):
+                    _random_mutation(rng, database)
+
+    def test_speculative_insert_allocates_like_the_copy(self, schema):
+        """Insert ids match the copy path (minimal free identifier)."""
+        database = Database.from_rows(schema, "R", [(1, "x", 0), (1, "y", 0)])
+        constraints = _constraint_suites()["binary"]
+        with MeasurementSession(constraints, database) as session:
+            database.delete(0)  # free the minimal identifier
+            operation = InsertOperation(Fact("R", (1, "x", 0)))
+            copy = operation.apply(database)
+            measure = make_measure("I_MI")
+            assert session.speculate_value([operation], measure) == measure.value(
+                constraints, copy
+            )
+            assert 0 not in database  # rolled back
+
+
+class TestSavepointRollback:
+    @pytest.mark.parametrize("suite", ["binary", "wide"])
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_rollback_restores_bit_identical_state(self, schema, suite, seed):
+        rng = random.Random(seed)
+        database = Database.from_facts(
+            schema, [_random_fact(rng) for _ in range(18)]
+        )
+        constraints = _constraint_suites()[suite]
+        with MeasurementSession(constraints, database) as session:
+            session.index()
+            facts_before = dict(database._facts)
+            next_id_before = database._next_id
+            domains_before = _domain_snapshot(database)
+            eq_before = _eq_index_snapshot(session)
+            with session.savepoint():
+                for _ in range(30):
+                    _random_mutation(rng, database)
+                session.index()  # exercise mid-savepoint flushes too
+            index = session.index()  # flush the rollback deltas
+            assert database._facts == facts_before
+            assert database._next_id == next_id_before
+            assert _domain_snapshot(database) == domains_before
+            assert _eq_index_snapshot(session) == eq_before
+            witnesses_after, touching_after = _witness_snapshot(session)
+            fresh = session.refresh()
+            witnesses_fresh, touching_fresh = _witness_snapshot(session)
+            assert witnesses_after == witnesses_fresh
+            assert touching_after == touching_fresh
+            assert index.mi_sets == fresh.mi_sets
+
+    def test_release_keeps_changes(self, schema):
+        database = Database.from_rows(schema, "R", [(1, "x", 0)])
+        with database.savepoint() as savepoint:
+            database.insert(Fact("R", (1, "y", 0)))
+            savepoint.release()
+        assert len(database) == 2
+        assert not savepoint.active
+        with pytest.raises(RuntimeError):
+            savepoint.rollback()
+
+    def test_nested_savepoints(self, schema):
+        database = Database.from_rows(schema, "R", [(1, "x", 0)])
+        with database.savepoint():
+            database.update(0, "B", "y")
+            with database.savepoint():
+                database.insert(Fact("R", (2, "z", 1)))
+            assert len(database) == 1  # inner rolled back
+            assert database.get_cell(0, "B") == "y"  # outer still applied
+        assert database.get_cell(0, "B") == "x"
+        assert len(database) == 1
+
+    def test_rollback_restores_identifiers_in_order(self, schema):
+        database = Database.from_rows(
+            schema, "R", [(1, "x", 0), (2, "y", 0), (3, "z", 0)]
+        )
+        facts_before = dict(database._facts)
+        with database.savepoint():
+            database.delete(0)
+            database.delete(2)
+            database.insert(Fact("R", (9, "w", 9)))  # takes identifier 0
+        assert database._facts == facts_before
+
+
+class TestOperationInverse:
+    def test_inverse_roundtrip(self, schema):
+        database = Database.from_rows(
+            schema, "R", [(1, "x", 0), (2, "y", 1)]
+        )
+        operations = [
+            DeleteOperation(0),
+            UpdateOperation(1, "B", "q"),
+            InsertOperation(Fact("R", (7, "n", 7))),
+            RestoreOperation(5, Fact("R", (5, "r", 5))),
+        ]
+        for operation in operations:
+            snapshot = dict(database._facts)
+            undo = operation.inverse(database)
+            assert undo is not None, operation
+            assert operation.apply_in_place(database)
+            assert undo.apply_in_place(database)
+            assert database._facts == snapshot, operation
+
+    def test_inapplicable_operations_have_no_inverse(self, schema):
+        database = Database.from_rows(schema, "R", [(1, "x", 0)])
+        assert DeleteOperation(9).inverse(database) is None
+        assert UpdateOperation(0, "B", "x").inverse(database) is None
+        assert UpdateOperation(9, "B", "y").inverse(database) is None
+        assert RestoreOperation(0, database[0]).inverse(database) is None
+
+    def test_insert_inverse_targets_the_allocated_identifier(self, schema):
+        database = Database.from_rows(
+            schema, "R", [(1, "x", 0), (2, "y", 0)]
+        )
+        database.delete(0)
+        operation = InsertOperation(Fact("R", (3, "z", 0)))
+        undo = operation.inverse(database)
+        assert undo == DeleteOperation(0)
+
+
+class TestComponentLocalizedDelta:
+    def test_unchanged_components_hit_the_cache(self, schema):
+        # Two disjoint conflict pairs; speculating on one leaves the other's
+        # component (and its cached value) untouched.
+        database = Database.from_rows(
+            schema,
+            "R",
+            [(1, "x", 0), (1, "y", 0), (2, "p", 0), (2, "q", 0)],
+        )
+        constraints = _constraint_suites()["binary"][:1]  # the FD only
+        measure = make_measure("I_R")
+        with MeasurementSession(constraints, database) as session:
+            assert session.measure(measure) == 2.0
+            assert affected_components(session.index(), {0}) == [0]
+            misses_before = session.component_cache.misses
+            assert session.speculate_value([DeleteOperation(0)], measure) == 1.0
+            # Component {2, 3} was served from the cache: at most the patched
+            # component around facts {0, 1} was recomputed (here: it vanished,
+            # so no new component value at all was solved).
+            assert session.component_cache.misses == misses_before
+            assert session.component_cache.hits > 0
+
+    def test_affected_components_positions(self, schema):
+        database = Database.from_rows(
+            schema,
+            "R",
+            [(1, "x", 0), (1, "y", 0), (2, "p", 0), (2, "q", 0)],
+        )
+        constraints = _constraint_suites()["binary"][:1]
+        index = build_violation_index(constraints, database)
+        assert affected_components(index, {2, 3}) == [1]
+        assert affected_components(index, {0, 3}) == [0, 1]
+        assert affected_components(index, {99}) == []
