@@ -66,9 +66,11 @@ def run_incremental_pipeline(
     with MeasurementSession(full_set, current) as session:
 
         def record() -> None:
-            # Batch evaluation through the session: one shared index patch
-            # plus the per-component value cache — conflict components the
-            # cleaning step left untouched reuse their solver results.
+            # Batch evaluation through the session: the cleaning step's
+            # delta re-splits only the affected region of the maintained
+            # component topology, and conflict components the step left
+            # untouched reuse their cached solver results — no full index
+            # is assembled per measurement point.
             for name, value in session.measure_all(measures).items():
                 result.series[name].append(value)
 

@@ -96,7 +96,15 @@ class ComponentwiseMeasure(InconsistencyMeasure):
         return float(sum(parts))
 
     def finalize(self, combined: float, index: ViolationIndex) -> float:
-        """Post-process the combined value (e.g. ``I_MC``'s ``− 1``)."""
+        """Post-process the combined value (e.g. ``I_MC``'s ``− 1``).
+
+        Overrides may read *index* only at MI-family granularity
+        (``mi_sets``-derived views such as ``self_inconsistent``): the
+        localized evaluation paths pass a pseudo index whose MI *content*
+        matches the assembled one but whose order is component-major and
+        whose ``per_constraint`` is empty.  Measures that keep this default
+        are evaluated without building any index at all.
+        """
         return combined
 
     def value(
@@ -153,6 +161,13 @@ class ComponentValueCache:
     cache — their values do not localize.  The cache self-bounds: on
     reaching *max_entries* it clears wholesale (content-addressed entries
     are always safe to drop).
+
+    Content keys are the cache's ground truth; batched speculation layers a
+    second, cheaper discipline on top: within one scoring round the live
+    topology's unchanged components keep object identity, so the session
+    resolves each base component through this cache once and thereafter
+    shares the value by ``id()`` — see
+    :meth:`~repro.session.session.MeasurementSession.speculate_batch`.
     """
 
     def __init__(self, max_entries: int = 65536) -> None:

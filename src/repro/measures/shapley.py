@@ -18,8 +18,12 @@ blame equally among its members).
 The sampling estimator replays each permutation as a stream of speculative
 inserts into a shadow :class:`~repro.session.MeasurementSession` — one
 incremental delta per prefix instead of ``n`` subset materializations and
-index rebuilds, with per-component measure values cached across prefixes
-*and* permutations (prefixes of different permutations share most of their
+index rebuilds.  Prefix values ride the same component-localized engine
+that batched speculation uses: the shadow session's live
+:class:`~repro.violations.topology.ComponentTopology` re-splits only the
+region each insert affects and no full index is ever assembled, while
+per-component measure values stay cached across prefixes *and*
+permutations (prefixes of different permutations share most of their
 conflict components).
 """
 
@@ -102,11 +106,13 @@ def shapley_values_sampled(
 
     A permutation is evaluated as a stream of speculative inserts: facts are
     restored one by one (under their original identifiers) into an initially
-    empty shadow database owned by a measurement session, so each prefix
-    value costs an index *patch* — not a subset copy plus a from-scratch
-    rebuild — and unchanged conflict components are served from the
-    session's component value cache.  A savepoint rollback resets the shadow
-    between permutations.  Values are bit-identical to evaluating
+    empty shadow database owned by a measurement session.  Component-wise
+    measures read the shadow's maintained component topology directly — the
+    insert's affected region is re-split locally, every untouched component
+    keeps its cached value, and no full index is assembled per prefix (the
+    same localized engine ``speculate_batch`` scores candidates with).  A
+    savepoint rollback resets the shadow between permutations.  Values are
+    bit-identical to evaluating
     ``measure.value(constraints, database.subset(prefix))`` directly.
     """
     from ..session import MeasurementSession

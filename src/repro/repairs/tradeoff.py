@@ -74,45 +74,56 @@ def score_operations(
     *limit* bounds the number of *scored* candidates; operations skipped by
     the problematic-fact filter do not consume the budget.
 
-    *session* switches candidate evaluation to speculative what-if deltas:
-    each operation is applied through the session's change feed under a
-    savepoint, measured against the patched index (unchanged conflict
-    components served from the per-component value cache), and rolled back —
-    no database copy, no index rebuild, same values as the copy path.  The
-    session must own *database*.  *index* (copy path only) lets callers
+    *session* switches candidate evaluation to batched speculation: the
+    whole candidate set goes through
+    :meth:`~repro.session.MeasurementSession.speculate_batch`, which
+    resolves the base component values once and charges each candidate only
+    its affected region — one savepoint apply/rollback per candidate, no
+    database copy, no index rebuild, values identical to the copy path.
+    The session must own *database*.  *index* (copy path only) lets callers
     reuse a precomputed violation index.
     """
     system = system or subset_system()
     if session is not None:
         if session.database is not database:
             raise ValueError("session must own the database being scored")
-        index = session.index()
         current = session.measure(measure)
+        problematic = session.problematic_facts()
     else:
         if index is None:
             index = build_violation_index(constraints, database)
         current = measure.value(constraints, database, index)
+        problematic = index.problematic
     # Only operations touching problematic facts can reduce inconsistency
     # under anti-monotonic constraints; restrict the scan accordingly.
-    problematic = index.problematic
-    scored: list[ScoredOperation] = []
+    candidates: list[Operation] = []
     for operation in system.applicable_operations(database):
-        if limit is not None and len(scored) >= limit:
+        if limit is not None and len(candidates) >= limit:
             break
         target = getattr(operation, "identifier", None)
         if target is not None and problematic and target not in problematic:
             continue
-        if session is not None:
-            after = session.speculate_value([operation], measure)
-        else:
-            after = measure.value(constraints, operation.apply(database))
-        scored.append(
-            ScoredOperation(
-                operation=operation,
-                inconsistency_reduction=current - after,
-                loss=information_loss(operation, database),
+        candidates.append(operation)
+    if session is not None:
+        afters = [
+            values[measure.name]
+            for values in session.speculate_batch(
+                [[operation] for operation in candidates], [measure]
             )
+        ]
+    else:
+        afters = [
+            measure.value(constraints, operation.apply(database))
+            for operation in candidates
+        ]
+    scored = [
+        ScoredOperation(
+            operation=operation,
+            inconsistency_reduction=current - after,
+            loss=information_loss(operation, database),
         )
+        for operation, after in zip(candidates, afters)
+    ]
     scored.sort(key=lambda s: (-s.benefit, str(s.operation)))
     return scored
 
@@ -144,14 +155,14 @@ def stepwise_resolve(
     working = database.copy()
     steps: list[ScoredOperation] = []
     total_loss = 0.0
-    # One operation per round changes one fact: the session's patched index
-    # replaces a full violation rebuild per round (and per consistency check),
-    # and candidate scoring runs speculatively against the same session —
-    # each candidate costs one delta patch instead of a copy plus a rebuild.
+    # One operation per round changes one fact: the session's maintained
+    # topology replaces a full violation rebuild per round (and per
+    # consistency check), and the round's candidates are scored as one
+    # speculative batch against it — each candidate costs its affected
+    # region instead of a copy plus a rebuild.
     with MeasurementSession(list(constraints), working) as session:
         for _ in range(max_steps):
-            index = session.index()
-            if index.is_consistent():
+            if session.is_consistent():
                 break
             candidates = score_operations(
                 measure, constraints, working, system, session=session
@@ -162,10 +173,9 @@ def stepwise_resolve(
             best.operation.apply_in_place(working)
             steps.append(best)
             total_loss += best.loss
-        final_index = session.index()
         return ResolutionTrace(
             steps=steps,
             final_inconsistency=session.measure(measure),
             total_loss=total_loss,
-            consistent=final_index.is_consistent(),
+            consistent=session.is_consistent(),
         )

@@ -5,18 +5,29 @@ A :class:`MeasurementSession` owns a mutable ``(Σ, D)`` pair and keeps the
 inserts, deletes and updates instead of rebuilding it from scratch — the
 regime of every noise sweep and repair loop, where one step touches a
 handful of facts while ``MI_Σ(D)`` is dominated by unchanged witnesses.
-Candidate repair operations are scored copy-free through
+The minimized family and its conflict components are owned by a live
+:class:`~repro.violations.topology.ComponentTopology`, so a flush
+re-minimizes and re-splits only the delta's affected region.  Candidate
+repair operations are scored copy-free through
 :meth:`~repro.session.session.MeasurementSession.speculate` — apply under a
-savepoint, read the patched index with per-component value caching, roll
-back by inverse events.
+savepoint, read the patched topology with per-component value caching,
+roll back by inverse events — and whole candidate sets share one base
+resolution through
+:meth:`~repro.session.session.MeasurementSession.speculate_batch`.
 """
 
 from .session import MeasurementSession
-from .witnesses import EqualityColumnIndex, delta_witnesses, equality_columns
+from .witnesses import (
+    EqualityColumnIndex,
+    WitnessStore,
+    delta_witnesses,
+    equality_columns,
+)
 
 __all__ = [
     "EqualityColumnIndex",
     "MeasurementSession",
+    "WitnessStore",
     "delta_witnesses",
     "equality_columns",
 ]

@@ -10,23 +10,31 @@ dirty, and on the next index request
    fact → witness map),
 2. re-enumerates, per lowered DC, only the witnesses touching the dirty
    facts (hash-join probes restricted to the delta), and
-3. re-minimizes the patched raw family into ``MI_Σ(D)``.
+3. folds the witness delta into a live
+   :class:`~repro.violations.topology.ComponentTopology`, which locally
+   re-minimizes and re-splits only the affected region — the minimized
+   family and the conflict components are *maintained*, never rebuilt.
 
 The result is bit-for-bit the index ``build_violation_index`` would return,
-at a cost proportional to the delta rather than to the database.
+at a cost proportional to the delta's affected region rather than to the
+database; full-index assembly reduces to concatenating cached sorted views.
 
-On top of the maintained index the session offers **speculative
+On top of the maintained topology the session offers **speculative
 evaluation**: :meth:`MeasurementSession.speculate` scores candidate repair
 operations by applying them through the change feed under a
-:class:`~repro.relational.database.Savepoint`, reading measures off the
-patched index (with per-component value caching — the component-localized
-``ΔI``), and rolling back by replaying inverse events — no database copy,
-no full rebuild, bit-identical to the copy-and-rebuild result.
+:class:`~repro.relational.database.Savepoint`, reading component-wise
+measures off the patched topology (unchanged components keep object
+identity and serve their cached values), and rolling back by replaying
+inverse events — no database copy, no rebuild, bit-identical to the
+copy-and-rebuild result.  :meth:`MeasurementSession.speculate_batch` scores
+a whole candidate set in one round: the base component values are resolved
+once (shared cache probes) and every candidate pays only its own affected
+region plus O(1) identity lookups for the rest.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from ..constraints.base import Constraint
 from ..constraints.dc import DenialConstraint
@@ -38,13 +46,36 @@ from ..measures.base import (
 from ..relational.database import ChangeEvent, Database, Fact, Savepoint
 from ..relational.values import Value
 from ..violations.minimal import (
-    MinimalViolation,
     ViolationIndex,
-    _minimize,
     _witness_id_sets,
     lower_constraints,
 )
-from .witnesses import EqualityColumnIndex, delta_witnesses
+from ..violations.topology import (
+    ComponentTopology,
+    TopologyComponent,
+    split_minimized,
+)
+from .witnesses import EqualityColumnIndex, WitnessStore, delta_witnesses
+
+#: The inherited no-op ``finalize`` — measures that keep it never need the
+#: pseudo index, so the componentwise fast path can skip building it.
+_DEFAULT_FINALIZE = ComponentwiseMeasure.finalize
+
+
+class _SpeculationBase:
+    """Identity-pinned base snapshot for one batched scoring round.
+
+    Holds strong references to the base components (pinning their ``id()``s
+    against reuse) and, per measure, the base value of every component keyed
+    by component identity.  Candidates resolve unaffected components with an
+    O(1) integer lookup instead of re-hashing content keys.
+    """
+
+    __slots__ = ("components", "parts")
+
+    def __init__(self, components: list) -> None:
+        self.components = components
+        self.parts: dict[object, dict[int, float]] = {}
 
 
 class MeasurementSession:
@@ -70,15 +101,19 @@ class MeasurementSession:
         )
         self._eq_index.build(database)
         # Per-DC witness stores and the reverse fact → (dc, witness) map.
-        self._witnesses: list[set[frozenset[int]]] = [set() for _ in self.dcs]
+        self._witnesses: list[WitnessStore] = [
+            WitnessStore(dc) for dc in self.dcs
+        ]
         self._touching: dict[int, set[tuple[int, frozenset[int]]]] = {}
         self._dirty: set[int] = set()
         self._cached: ViolationIndex | None = None
         self.component_cache = ComponentValueCache()
-        # Mutation epoch and the memoized base split for speculative ΔI.
-        self._epoch = 0
-        self._spec_base: tuple | None = None
-        self._spec_base_epoch = -1
+        self.topology = ComponentTopology(self.dcs, database)
+        # Memoized base snapshot for batched speculation, keyed on the
+        # topology generation: flushes that change no witness leave both
+        # the generation and this snapshot untouched.
+        self._spec_base: _SpeculationBase | None = None
+        self._spec_base_generation = -1
         self._closed = False
         database.subscribe(self._on_change)
         self._rebuild()
@@ -132,29 +167,33 @@ class MeasurementSession:
         return self._cached
 
     def is_consistent(self) -> bool:
-        return self.index().is_consistent()
+        if self._dirty:
+            self._flush()
+        return self.topology.is_consistent()
+
+    def problematic_facts(self):
+        """Live view of ``∪ MI_Σ(D)`` — no index assembly required."""
+        if self._dirty:
+            self._flush()
+        return self.topology.problematic()
 
     def measure(self, measure) -> float:
-        """Evaluate one measure against the maintained index.
+        """Evaluate one measure against the maintained state.
 
-        Component-wise measures are served through the session's
-        :class:`~repro.measures.base.ComponentValueCache`: only conflict
-        components whose content changed since the last evaluation pay
-        their solver again.
+        Component-wise measures read the topology directly — per-component
+        values through the session's
+        :class:`~repro.measures.base.ComponentValueCache`, no full-index
+        assembly at all; whole-database measures get the assembled index.
         """
-        return self.component_cache.value(
-            measure, self.constraints, self.database, self.index()
-        )
+        if not isinstance(measure, ComponentwiseMeasure):
+            return measure.value(self.constraints, self.database, self.index())
+        if self._dirty:
+            self._flush()
+        return self._componentwise_value(measure)
 
     def measure_all(self, measures: Iterable) -> dict[str, float]:
-        """Evaluate a batch of measures sharing the maintained index."""
-        index = self.index()
-        return {
-            measure.name: self.component_cache.value(
-                measure, self.constraints, self.database, index
-            )
-            for measure in measures
-        }
+        """Evaluate a batch of measures sharing the maintained state."""
+        return {measure.name: self.measure(measure) for measure in measures}
 
     def refresh(self) -> ViolationIndex:
         """Force a from-scratch rebuild (a cross-check tool, not a hot path)."""
@@ -178,178 +217,265 @@ class MeasurementSession:
         """Measure values *as if* *operations* had been applied — copy-free.
 
         Applies the operations in place under a savepoint, flushes the
-        delta-restricted witness patch, evaluates each measure against the
-        patched state, then rolls back.  The returned values are
-        bit-identical to copying the database, applying the operations, and
-        rebuilding from scratch.
+        delta-restricted witness patch through the topology, evaluates each
+        measure against the patched state, then rolls back.  The returned
+        values are bit-identical to copying the database, applying the
+        operations, and rebuilding from scratch.
 
         When every requested measure is component-wise, evaluation is
-        **component-localized ΔI**: only the conflict components reachable
-        from the operations' touched facts are re-split and re-solved
-        (O(component)); every other component reuses the base split and the
-        per-component value cache, so no full index is ever assembled.
+        **component-localized ΔI**: the topology rebuilds only the affected
+        region, every untouched component keeps its object identity, and
+        its (possibly expensive) value is served from the per-component
+        cache in the exact ``components()`` float-summation order.
         Whole-database measures (``I_d``, ``I_R_upd``) force the generic
-        path against the fully assembled patched index.
+        path against the fully assembled patched index.  Scoring many
+        candidates against one base state is cheaper through
+        :meth:`speculate_batch`.
         """
         measures = list(measures)
-        localized = all(
+        if not all(
             isinstance(measure, ComponentwiseMeasure) for measure in measures
-        )
-        base = self._speculation_base() if localized else None
-        with self.savepoint() as savepoint:
+        ):
+            return self._speculate_generic(list(operations), measures)
+        if self._dirty:
+            self._flush()
+        with self.savepoint():
             for operation in operations:
                 operation.apply_in_place(self.database)
-            if localized:
-                touched = {event.identifier for event in savepoint.events}
-                if self._dirty:
-                    self._flush()
-                values = self._localized_values(base, touched, measures)
-            else:
-                index = self.index()
-                values = {
-                    measure.name: self.component_cache.value(
-                        measure, self.constraints, self.database, index
-                    )
-                    for measure in measures
-                }
-        if localized:
-            # The rollback restored the base state; the events it emitted
-            # advanced the epoch but did not invalidate the memoized split.
-            self._spec_base_epoch = self._epoch
-        return values
+            if self._dirty:
+                self._flush()
+            return {
+                measure.name: self._componentwise_value(measure)
+                for measure in measures
+            }
 
     def speculate_value(self, operations: Iterable, measure) -> float:
         """One-measure :meth:`speculate` (the candidate-scoring hot path)."""
         return self.speculate(operations, (measure,))[measure.name]
 
-    def _speculation_base(self) -> tuple:
-        """The memoized base component split for localized speculation.
+    def speculate_batch(
+        self, candidates: Iterable[Iterable], measures: Iterable
+    ) -> list[dict[str, float]]:
+        """Score a whole candidate set against the current base state.
 
-        Returns ``(components, position_of, attached, minima, keys)``:
-        *position_of* maps every problematic fact to its component position;
-        *attached* holds, per component, the deduplicated raw witnesses
-        attached to it; *minima* the per-component smallest fact id (the
-        ``components()`` ordering key); *keys* the per-component content
-        cache keys.  All of it is computed once per base state and reused
-        across every candidate scored against it — rolling a speculation
-        back restores the base, so the split stays valid for the whole
-        scoring round.
+        *candidates* is a sequence of operation batches; each is applied
+        under its own savepoint, measured, and rolled back, exactly like a
+        :meth:`speculate` call — the returned dicts are value-identical to
+        per-candidate speculation (and therefore to copy-apply-rebuild).
+
+        The batch owns the scoring round, so each candidate is **one region
+        pass**: its witness delta is enumerated against the patched
+        database, the affected region is re-minimized and re-split through
+        a read-only :meth:`~repro.violations.topology.ComponentTopology.preview`
+        — the live topology, the witness stores and every derived cache
+        stay untouched — and the base component values, resolved once per
+        batch (shared cache probes), fill in the rest by identity.  Only
+        one real flush runs, after the whole batch, to absorb the
+        apply/rollback event pairs (which restore the base bit-for-bit and
+        re-pin the memoized snapshot).  Sequential :meth:`speculate` pays a
+        commit + rollback re-split per candidate instead.  Mixed batches
+        containing whole-database measures fall back to per-candidate
+        generic speculation.
         """
-        if self._spec_base is None or self._spec_base_epoch != self._epoch:
-            components = self.index().components()
-            position_of: dict[int, int] = {}
-            attached: list[set[frozenset[int]]] = []
-            minima: list[int] = []
-            keys: list[tuple] = []
-            for position, component in enumerate(components):
-                facts = component.problematic
-                for fact in facts:
-                    position_of[fact] = position
-                attached.append(
-                    {violation.fact_ids for violation in component.per_constraint}
-                )
-                minima.append(min(facts))
-                keys.append(component_cache_key(component, self.database))
-            self._spec_base = (components, position_of, attached, minima, keys)
-            self._spec_base_epoch = self._epoch
-        return self._spec_base
+        candidates = [list(operations) for operations in candidates]
+        measures = list(measures)
+        if not candidates:
+            return []
+        if not all(
+            isinstance(measure, ComponentwiseMeasure) for measure in measures
+        ):
+            return [
+                self._speculate_generic(operations, measures)
+                for operations in candidates
+            ]
+        base = self._speculation_base()
+        self._prime_base(base, measures)
+        results: list[dict[str, float]] = []
+        for operations in candidates:
+            with self.savepoint() as savepoint:
+                for operation in operations:
+                    operation.apply_in_place(self.database)
+                touched = {event.identifier for event in savepoint.events}
+                results.append(self._preview_values(base, touched, measures))
+        # The batch never committed anything: every candidate's events were
+        # rolled back (bit-identical database and equality index, by the
+        # savepoint contract) and neither the stores nor the topology were
+        # ever written.  The accumulated dirty marks are balanced
+        # apply/inverse pairs, so the flush they call for is a no-op by
+        # construction — drop them instead of re-enumerating every touched
+        # fact.
+        self._dirty.clear()
+        return results
 
-    def _localized_values(
-        self, base: tuple, touched: set[int], measures: list
+    def _preview_values(
+        self, base: _SpeculationBase, touched: set[int], measures: list
     ) -> dict[str, float]:
-        """Evaluate component-wise measures against the patched stores.
+        """Score one candidate from a read-only region preview.
 
-        The affected region is the closure of the base components reachable
-        from *touched*: directly (a touched fact is a member), through a
-        live witness of a touched fact (post-flush ``self._touching`` —
-        covers freshly created conflicts), or through a raw witness attached
-        to an already-affected component (a witness spanning components can
-        become minimal when its subset is retracted, merging them).  The
-        region's patched witnesses are re-minimized and re-split locally;
-        every other component reuses its base split and cached value.  The
-        merged component list is ordered by smallest member — exactly the
-        ``components()`` order of the patched index — so ``combine`` runs
-        in the same float order as the from-scratch path.
+        Runs inside the candidate's savepoint: the database (and the
+        equality-column index) is patched, but the witness stores and the
+        topology still describe the base.  The candidate's witness delta is
+        therefore exactly "retract what binds *touched*, re-enumerate
+        around it"; the topology previews the resulting region, and values
+        combine base parts (by identity) with freshly solved regional parts
+        in the merged component order — bit-identical to commit-and-read.
         """
-        components, position_of, attached, minima, keys = base
-        affected: set[int] = set()
-        stack: list[int] = []
-        live: set[frozenset[int]] = set()
-
-        def pull(position: int) -> None:
-            if position not in affected:
-                affected.add(position)
-                stack.append(position)
-
-        for fact in touched:
-            position = position_of.get(fact)
-            if position is not None:
-                pull(position)
-            for _, witness in self._touching.get(fact, ()):
-                if witness not in live:
-                    live.add(witness)
-                    for other in witness:
-                        other_position = position_of.get(other)
-                        if other_position is not None:
-                            pull(other_position)
-        while stack:
-            for witness in attached[stack.pop()]:
-                for other in witness:
-                    other_position = position_of.get(other)
-                    if other_position is not None:
-                        pull(other_position)
-        # The region's patched raw family: attached witnesses that dodge the
-        # delta are still stored; witnesses binding a touched fact are live
-        # only if the flush kept them (collected from _touching above).
-        for position in affected:
-            for witness in attached[position]:
-                if touched.isdisjoint(witness):
-                    live.add(witness)
-        regional = ViolationIndex()
-        regional.mi_sets = _minimize(live)
-        # (minimum, component, base cache key or None) — merged patched order.
-        ordered: list[tuple[int, ViolationIndex, tuple | None]] = [
-            (minima[position], component, keys[position])
-            for position, component in enumerate(components)
-            if position not in affected
-        ]
-        ordered.extend(
-            (min(component.problematic), component, None)
-            for component in regional.components()
-        )
-        ordered.sort(key=lambda entry: entry[0])
-        pseudo = ViolationIndex()
-        pseudo.mi_sets = [
-            group for _, component, _ in ordered for group in component.mi_sets
-        ]
+        database = self.database
+        topology = self.topology
         cache = self.component_cache
+        gone: set[frozenset[int]] = set()
+        for fact in touched:
+            for _, witness in self._touching.get(fact, ()):
+                gone.add(witness)
+        live = {fact for fact in touched if fact in database}
+        fresh: set[frozenset[int]] = set()
+        if live:
+            for dc in self.dcs:
+                fresh.update(
+                    delta_witnesses(dc, database, live, self._eq_index)
+                )
+        minimized, region = topology.preview(gone, fresh)
+        entries: list[tuple[int, TopologyComponent | None, ViolationIndex]] = [
+            (component.minimum, component, component.index)
+            for component in base.components
+            if component not in region
+        ]
+        entries.extend(
+            (minimum, None, index)
+            for minimum, index in split_minimized(minimized)
+        )
+        entries.sort(key=lambda entry: entry[0])
+        pseudo: ViolationIndex | None = None
+        if any(
+            type(measure).finalize is not _DEFAULT_FINALIZE
+            for measure in measures
+        ):
+            pseudo = ViolationIndex()
+            for _, _, index in entries:
+                pseudo.mi_sets.extend(index.mi_sets)
+        regional_keys: dict[int, tuple] = {}
         values: dict[str, float] = {}
         for measure in measures:
-            parts = [
-                cache.component_value(
-                    measure, self.constraints, self.database, component, key
+            base_parts = base.parts[measure]
+            parts: list[float] = []
+            for _, component, index in entries:
+                if component is not None:
+                    parts.append(base_parts[id(component)])
+                    continue
+                key = regional_keys.get(id(index))
+                if key is None:
+                    key = component_cache_key(index, database)
+                    regional_keys[id(index)] = key
+                parts.append(
+                    cache.component_value(
+                        measure, self.constraints, database, index, key=key
+                    )
                 )
-                for _, component, key in ordered
-            ]
-            values[measure.name] = float(
-                measure.finalize(measure.combine(parts), pseudo)
-            )
+            combined = measure.combine(parts)
+            if type(measure).finalize is _DEFAULT_FINALIZE:
+                values[measure.name] = float(combined)
+            else:
+                values[measure.name] = float(measure.finalize(combined, pseudo))
         return values
+
+    def _speculation_base(self) -> _SpeculationBase:
+        """The memoized base snapshot for batched speculation.
+
+        Keyed on the topology *generation*, not on raw mutation events:
+        flushes that produce no witness delta (updates to facts bound by no
+        witness) leave the generation — and this snapshot — untouched.
+        """
+        if self._dirty:
+            self._flush()
+        if (
+            self._spec_base is None
+            or self._spec_base_generation != self.topology.generation
+        ):
+            self._spec_base = _SpeculationBase(list(self.topology.components()))
+            self._spec_base_generation = self.topology.generation
+        return self._spec_base
+
+    def _prime_base(self, base: _SpeculationBase, measures: list) -> None:
+        """Resolve every base component's value once per measure."""
+        cache = self.component_cache
+        topology = self.topology
+        for measure in measures:
+            if measure in base.parts:
+                continue
+            base.parts[measure] = {
+                id(component): cache.component_value(
+                    measure,
+                    self.constraints,
+                    self.database,
+                    component.index,
+                    key=topology.cache_key(component),
+                )
+                for component in base.components
+            }
+
+    def _componentwise_value(self, measure) -> float:
+        """One component-wise measure over the live topology.
+
+        Every component resolves through the content-addressed component
+        cache under its memoized key; parts combine in component order —
+        the exact float order of the from-scratch path.  (Identity-based
+        value sharing exists only inside a batch: :meth:`_preview_values`.)
+        """
+        cache = self.component_cache
+        topology = self.topology
+        parts = [
+            cache.component_value(
+                measure,
+                self.constraints,
+                self.database,
+                component.index,
+                key=topology.cache_key(component),
+            )
+            for component in topology.components()
+        ]
+        combined = measure.combine(parts)
+        if type(measure).finalize is _DEFAULT_FINALIZE:
+            return float(combined)
+        return float(measure.finalize(combined, topology.pseudo_index()))
+
+    def _speculate_generic(
+        self, operations: list, measures: list
+    ) -> dict[str, float]:
+        """Whole-database speculation against the assembled patched index."""
+        with self.savepoint():
+            for operation in operations:
+                operation.apply_in_place(self.database)
+            index = self.index()
+            return {
+                measure.name: self.component_cache.value(
+                    measure, self.constraints, self.database, index
+                )
+                for measure in measures
+            }
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _on_change(self, event: ChangeEvent) -> None:
-        self._cached = None
-        self._epoch += 1
         self._dirty.add(event.identifier)
         self._eq_index.apply(event)
 
     def _flush(self) -> None:
+        """Fold the pending dirty set into the stores and the topology.
+
+        Witnesses binding a dirty fact are retracted, the delta is
+        re-enumerated, and the net ``(dc, witness)`` delta is handed to the
+        topology, which re-minimizes and re-splits only the affected
+        region.  A flush that produces no witness delta leaves the cached
+        assembled index and the topology generation untouched.
+        """
         dirty, self._dirty = self._dirty, set()
+        retracted: list[tuple[int, frozenset[int]]] = []
+        inserted: list[tuple[int, frozenset[int]]] = []
         for identifier in dirty:
             for dc_position, witness in self._touching.pop(identifier, ()):
-                self._witnesses[dc_position].discard(witness)
+                if self._witnesses[dc_position].discard(witness):
+                    retracted.append((dc_position, witness))
                 for other in witness:
                     if other != identifier:
                         entry = self._touching.get(other)
@@ -361,33 +487,48 @@ class MeasurementSession:
                 for witness in delta_witnesses(
                     dc, self.database, live, self._eq_index
                 ):
-                    self._add_witness(dc_position, witness)
+                    if self._add_witness(dc_position, witness):
+                        inserted.append((dc_position, witness))
+        if self.topology.apply(retracted, inserted):
+            self._cached = None
 
-    def _add_witness(self, dc_position: int, witness: frozenset[int]) -> None:
-        store = self._witnesses[dc_position]
-        if witness in store:
-            return
-        store.add(witness)
+    def _add_witness(self, dc_position: int, witness: frozenset[int]) -> bool:
+        if not self._witnesses[dc_position].add(witness):
+            return False
         for identifier in witness:
             self._touching.setdefault(identifier, set()).add(
                 (dc_position, witness)
             )
+        return True
 
     def _assemble(self) -> ViolationIndex:
+        """Materialize the full index from maintained views — no re-scan.
+
+        ``per_constraint`` concatenates the stores' cached sorted lists,
+        ``mi_sets`` copies the topology's maintained global family, and the
+        component split is adopted straight from the topology, so assembly
+        is list concatenation, not minimization.
+        """
         index = ViolationIndex()
-        raw: set[frozenset[int]] = set()
-        for dc_position, dc in enumerate(self.dcs):
-            for witness in sorted(self._witnesses[dc_position], key=sorted):
-                index.per_constraint.append(MinimalViolation(witness, dc))
-                raw.add(witness)
-        index.mi_sets = _minimize(raw)
+        per_constraint = index.per_constraint
+        for store in self._witnesses:
+            per_constraint.extend(store.ordered())
+        index.mi_sets = list(self.topology.assemble_mi())
+        index.adopt_components(self.topology.component_indexes())
         return index
 
     def _rebuild(self) -> None:
-        self._witnesses = [set() for _ in self.dcs]
+        self._witnesses = [WitnessStore(dc) for dc in self.dcs]
         self._touching = {}
         self._dirty.clear()
         self._cached = None
+        self.topology = ComponentTopology(self.dcs, self.database)
+        self._spec_base = None
+        self._spec_base_generation = -1
+        inserted: list[tuple[int, frozenset[int]]] = []
         for dc_position, dc in enumerate(self.dcs):
             for ids in _witness_id_sets(dc, self.database, False):
-                self._add_witness(dc_position, frozenset(ids))
+                witness = frozenset(ids)
+                if self._add_witness(dc_position, witness):
+                    inserted.append((dc_position, witness))
+        self.topology.apply([], inserted)

@@ -18,13 +18,17 @@ from .minimal import (
     violations_of,
 )
 from .sqlgen import conflict_rows, conflict_sql
+from .topology import ComponentTopology, TopologyComponent, mi_sort_key
 
 __all__ = [
+    "ComponentTopology",
     "ConflictGraph",
     "ConflictHypergraph",
     "MinimalViolation",
+    "TopologyComponent",
     "ViolationIndex",
     "affected_components",
+    "mi_sort_key",
     "build_violation_index",
     "conflict_graph_from_index",
     "conflict_hypergraph_from_index",

@@ -14,6 +14,10 @@ from typing import Iterable
 
 from .minimal import ViolationIndex
 
+#: Shared empty adjacency view for vertices without neighbors (immutable so
+#: an accidental mutation of the "no neighbors" case fails loudly).
+_NO_NEIGHBORS: frozenset[int] = frozenset()
+
 
 @dataclass
 class ConflictGraph:
@@ -72,8 +76,14 @@ class ConflictGraph:
         if ru != rv:
             self._parent[rv] = ru
 
-    def neighbors(self, vertex: int) -> set[int]:
-        return set(self.adjacency.get(vertex, ()))
+    def neighbors(self, vertex: int) -> frozenset[int] | set[int]:
+        """The adjacency set of *vertex* — a read-only **view**, not a copy.
+
+        The solvers probe this on every branch-and-bound step; copying the
+        set per call dominated their inner loop.  Callers must not mutate
+        the returned set (mutate via :meth:`add_edge` instead).
+        """
+        return self.adjacency.get(vertex, _NO_NEIGHBORS)
 
     def degree(self, vertex: int) -> int:
         return len(self.adjacency.get(vertex, ()))
@@ -160,8 +170,8 @@ def affected_components(
     an *applied* delta perturbed additionally requires closing over raw
     witnesses that span components (a retraction can promote a spanning
     witness to minimal and merge them); that full closure lives in
-    ``MeasurementSession._localized_values``, the one place that maintains
-    the post-delta adjacency it needs.
+    :meth:`~repro.violations.topology.ComponentTopology.apply`, the
+    maintained structure that owns the post-delta attachment it needs.
     """
     wanted = set(fact_ids)
     return [

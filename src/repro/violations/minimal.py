@@ -33,6 +33,50 @@ class MinimalViolation:
     constraint: DenialConstraint
 
 
+def _connected_groups(
+    groups: Sequence[frozenset[int]],
+) -> list[tuple[set[int], list[frozenset[int]]]]:
+    """Connected components of a set family, ordered by smallest member.
+
+    Two groups are connected when they share a fact.  Returns ``(member
+    facts, groups)`` pairs; within a component the groups keep their input
+    order.  The single union-find behind :meth:`ViolationIndex.components`,
+    the live topology's regional re-split and the speculative preview split
+    — one implementation, one ordering contract.
+    """
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for group in groups:
+        anchor = None
+        for fact in group:
+            parent.setdefault(fact, fact)
+            if anchor is None:
+                anchor = fact
+            else:
+                ra, rb = find(anchor), find(fact)
+                if ra != rb:
+                    parent[rb] = ra
+    members: dict[int, set[int]] = {}
+    bucket: dict[int, list[frozenset[int]]] = {}
+    for group in groups:
+        root = find(next(iter(group)))
+        bucket.setdefault(root, []).append(group)
+    for fact in parent:
+        members.setdefault(find(fact), set()).add(fact)
+    return sorted(
+        ((members[root], grouped) for root, grouped in bucket.items()),
+        key=lambda piece: min(piece[0]),
+    )
+
+
 @dataclass
 class ViolationIndex:
     """Everything the measures need, computed once per (Σ, D).
@@ -93,38 +137,17 @@ class ViolationIndex:
         )
         if self._components_cache is not None and self._components_cache[0] == key:
             return self._components_cache[1]
-        parent: dict[int, int] = {}
-
-        def find(x: int) -> int:
-            root = x
-            while parent[root] != root:
-                root = parent[root]
-            while parent[x] != root:
-                parent[x], x = root, parent[x]
-            return root
-
-        for group in self.mi_sets:
-            anchor = None
-            for fact_id in group:
-                parent.setdefault(fact_id, fact_id)
-                if anchor is None:
-                    anchor = fact_id
-                else:
-                    ra, rb = find(anchor), find(fact_id)
-                    if ra != rb:
-                        parent[rb] = ra
-        members: dict[int, set[int]] = {}
-        for fact_id in parent:
-            members.setdefault(find(fact_id), set()).add(fact_id)
-        component_ids = sorted(members.values(), key=min)
+        pieces = _connected_groups(self.mi_sets)
         component_of = {
             fact_id: position
-            for position, ids in enumerate(component_ids)
-            for fact_id in ids
+            for position, (facts, _) in enumerate(pieces)
+            for fact_id in facts
         }
-        result = [ViolationIndex() for _ in component_ids]
-        for group in self.mi_sets:
-            result[component_of[next(iter(group))]].mi_sets.append(group)
+        result = []
+        for _, grouped in pieces:
+            component = ViolationIndex()
+            component.mi_sets = grouped
+            result.append(component)
         for violation in self.per_constraint:
             touched = {
                 component_of[fact_id]
@@ -135,6 +158,25 @@ class ViolationIndex:
                 result[position].per_constraint.append(violation)
         self._components_cache = (key, result)
         return result
+
+    def adopt_components(self, components: list["ViolationIndex"]) -> None:
+        """Pre-seed the memoized component split with a maintained view.
+
+        A live :class:`~repro.violations.topology.ComponentTopology` already
+        holds the split this index would derive; adopting it makes
+        :meth:`components` O(1) instead of an O(database) union-find.  The
+        adopted list must be content-identical to what :meth:`components`
+        would compute (the session-layer equivalence tests enforce this).
+        """
+        self._components_cache = (
+            (
+                id(self.mi_sets),
+                len(self.mi_sets),
+                id(self.per_constraint),
+                len(self.per_constraint),
+            ),
+            list(components),
+        )
 
 
 def lower_constraints(

@@ -240,6 +240,124 @@ class TestOperationInverse:
         assert undo == DeleteOperation(0)
 
 
+class TestSpeculateBatch:
+    @pytest.mark.parametrize("suite", ["binary", "wide"])
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_batch_equals_sequential_speculation(self, schema, suite, seed):
+        """Value identity: batch == per-candidate speculate == copy-rebuild,
+        for the full registry (whole-database measures take the fallback)."""
+        rng = random.Random(seed)
+        database = Database.from_facts(
+            schema, [_random_fact(rng) for _ in range(14)]
+        )
+        constraints = _constraint_suites()[suite]
+        measures = [make_measure(name) for name in TABLE2_MEASURES]
+        with MeasurementSession(constraints, database) as session:
+            for _ in range(5):
+                candidates = [
+                    _random_operations(rng, database) for _ in range(4)
+                ]
+                batch = session.speculate_batch(candidates, measures)
+                sequential = [
+                    session.speculate(operations, measures)
+                    for operations in candidates
+                ]
+                assert batch == sequential
+                expected = [
+                    {
+                        measure.name: measure.value(
+                            constraints, apply_sequence(database, operations)
+                        )
+                        for measure in measures
+                    }
+                    for operations in candidates
+                ]
+                assert batch == expected
+                # Batched speculation must not leak into the live state.
+                assert session.index().mi_sets == build_violation_index(
+                    constraints, database
+                ).mi_sets
+                _random_mutation(rng, database)
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_mixed_batch_falls_back_value_identical(self, schema, seed):
+        """Whole-database measures in the batch force the generic path;
+        values still match per-candidate speculation (small database — the
+        exact update-repair measure is exponential)."""
+        rng = random.Random(seed)
+        database = Database.from_facts(
+            schema, [_random_fact(rng) for _ in range(8)]
+        )
+        constraints = _constraint_suites()["binary"]
+        registry = [make_measure(name) for name in available_measures()]
+        with MeasurementSession(constraints, database) as session:
+            for _ in range(3):
+                candidates = [
+                    _random_operations(rng, database) for _ in range(2)
+                ]
+                assert session.speculate_batch(candidates, registry) == [
+                    session.speculate(operations, registry)
+                    for operations in candidates
+                ]
+                _random_mutation(rng, database)
+
+    def test_empty_batch(self, schema):
+        database = Database.from_rows(schema, "R", [(1, "x", 0), (1, "y", 0)])
+        constraints = _constraint_suites()["binary"]
+        with MeasurementSession(constraints, database) as session:
+            assert session.speculate_batch([], [make_measure("I_MI")]) == []
+
+    def test_batch_shares_base_resolution(self, schema):
+        """Candidates resolve unaffected components without new solves."""
+        database = Database.from_rows(
+            schema,
+            "R",
+            [(1, "x", 0), (1, "y", 0), (2, "p", 0), (2, "q", 0)],
+        )
+        constraints = _constraint_suites()["binary"][:1]  # the FD only
+        measure = make_measure("I_R")
+        with MeasurementSession(constraints, database) as session:
+            session.measure(measure)  # warm the cache for both components
+            misses_before = session.component_cache.misses
+            values = session.speculate_batch(
+                [[DeleteOperation(0)], [DeleteOperation(1)]], [measure]
+            )
+            assert [value[measure.name] for value in values] == [1.0, 1.0]
+            # Component {2, 3} is resolved once by the base priming (a cache
+            # hit) and shared by identity thereafter; deleting either fact of
+            # {0, 1} dissolves that component, so nothing is ever re-solved.
+            assert session.component_cache.misses == misses_before
+
+    def test_speculation_base_survives_no_op_flushes(self, schema):
+        """The memoized base is keyed on topology generation: a flush that
+        changes no witness must not recompute it."""
+        database = Database.from_rows(
+            schema, "R", [(1, "x", 0), (1, "y", 0), (5, "q", 9)]
+        )
+        constraints = _constraint_suites()["binary"][:1]
+        with MeasurementSession(constraints, database) as session:
+            base = session._speculation_base()
+            database.update(2, "C", 4)  # fact 2 binds no witness
+            session.index()
+            assert session._speculation_base() is base
+            database.update(0, "B", "z")  # retract + re-insert the conflict
+            session.index()
+            assert session._speculation_base() is not base
+
+    def test_batch_repins_base_across_rounds(self, schema):
+        """A batch's rollbacks restore the base; the next batch reuses it."""
+        database = Database.from_rows(
+            schema, "R", [(1, "x", 0), (1, "y", 0), (2, "p", 0), (2, "q", 0)]
+        )
+        constraints = _constraint_suites()["binary"][:1]
+        measure = make_measure("I_MI")
+        with MeasurementSession(constraints, database) as session:
+            session.speculate_batch([[DeleteOperation(0)]], [measure])
+            base = session._spec_base
+            session.speculate_batch([[DeleteOperation(2)]], [measure])
+            assert session._spec_base is base
+
+
 class TestComponentLocalizedDelta:
     def test_unchanged_components_hit_the_cache(self, schema):
         # Two disjoint conflict pairs; speculating on one leaves the other's
