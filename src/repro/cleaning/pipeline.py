@@ -14,7 +14,7 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure
 from ..relational.database import Database
-from ..session import MeasurementSession
+from ..session import make_session
 from .holoclean import CleaningReport, MiniHoloClean
 
 
@@ -43,6 +43,7 @@ def run_incremental_pipeline(
     *,
     permutation: Sequence[int] | None = None,
     seed: int | None = None,
+    shards: str | None = None,
 ) -> PipelineResult:
     """Clean with one additional constraint per step, measuring after each.
 
@@ -51,7 +52,9 @@ def run_incremental_pipeline(
     more and more of the rules — exactly the Figure 7 protocol.  The cleaner
     repairs cells in place; a :class:`~repro.session.MeasurementSession`
     over the working copy turns those repairs into index deltas, so each
-    measurement point only re-examines the repaired facts.
+    measurement point only re-examines the repaired facts.  ``shards="auto"``
+    shards the session by relation for multi-relation pipelines
+    (bit-identical trajectories, per-shard deltas).
     """
     order = list(permutation) if permutation is not None else list(range(len(constraints)))
     if sorted(order) != list(range(len(constraints))):
@@ -63,7 +66,7 @@ def run_incremental_pipeline(
     )
     current = database.copy()
 
-    with MeasurementSession(full_set, current) as session:
+    with make_session(full_set, current, shards=shards) as session:
 
         def record() -> None:
             # Batch evaluation through the session: the cleaning step's

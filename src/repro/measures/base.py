@@ -107,6 +107,29 @@ class ComponentwiseMeasure(InconsistencyMeasure):
         """
         return combined
 
+    def value_from_parts(
+        self, parts: Sequence[float], pseudo_index: ViolationIndex | None = None
+    ) -> float:
+        """Assemble the measure value from precomputed per-component parts.
+
+        The shared finalization step of every localized evaluation path —
+        the live session reading its topology, speculative previews, and
+        sharded sessions merging per-shard component streams.  *parts* must
+        be in global component order (ascending smallest member fact): that
+        is the float combination order of the from-scratch path, so the
+        result is bit-identical to :meth:`value` no matter how many shards
+        the components were collected from.  *pseudo_index* is required
+        exactly when :func:`needs_finalize_index` holds.
+        """
+        combined = self.combine(parts)
+        if not needs_finalize_index(self):
+            return float(combined)
+        if pseudo_index is None:
+            raise ValueError(
+                f"{self.name} overrides finalize and needs a pseudo index"
+            )
+        return float(self.finalize(combined, pseudo_index))
+
     def value(
         self,
         constraints: Sequence[Constraint],
@@ -119,6 +142,17 @@ class ComponentwiseMeasure(InconsistencyMeasure):
             for component in index.components()
         ]
         return float(self.finalize(self.combine(parts), index))
+
+
+def needs_finalize_index(measure: "ComponentwiseMeasure") -> bool:
+    """Whether *measure* overrides ``finalize`` and so needs a pseudo index.
+
+    Measures keeping the inherited no-op finalize are evaluated from their
+    per-component parts alone — the localized paths (live topology reads,
+    speculative previews, sharded assembly) skip building any index for
+    them.
+    """
+    return type(measure).finalize is not ComponentwiseMeasure.finalize
 
 
 def component_cache_key(

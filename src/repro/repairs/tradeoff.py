@@ -21,7 +21,7 @@ from typing import Sequence
 from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure
 from ..relational.database import Database
-from ..session import MeasurementSession
+from ..session import MeasurementSession, ShardedMeasurementSession, make_session
 from ..violations.minimal import ViolationIndex, build_violation_index
 from .operations import (
     DeleteOperation,
@@ -67,7 +67,7 @@ def score_operations(
     system: RepairSystem | None = None,
     limit: int | None = None,
     index: ViolationIndex | None = None,
-    session: MeasurementSession | None = None,
+    session: MeasurementSession | ShardedMeasurementSession | None = None,
 ) -> list[ScoredOperation]:
     """Score every applicable operation, best benefit first.
 
@@ -80,8 +80,10 @@ def score_operations(
     resolves the base component values once and charges each candidate only
     its affected region — one savepoint apply/rollback per candidate, no
     database copy, no index rebuild, values identical to the copy path.
-    The session must own *database*.  *index* (copy path only) lets callers
-    reuse a precomputed violation index.
+    A :class:`~repro.session.ShardedMeasurementSession` works the same way
+    (candidates preview only on the shards they touch).  The session must
+    own *database*.  *index* (copy path only) lets callers reuse a
+    precomputed violation index.
     """
     system = system or subset_system()
     if session is not None:
@@ -144,12 +146,15 @@ def stepwise_resolve(
     database: Database,
     system: RepairSystem | None = None,
     max_steps: int = 100,
+    shards: str | None = None,
 ) -> ResolutionTrace:
     """Greedy highest-benefit-first resolution (mutates a copy).
 
     Stops at consistency, at *max_steps*, or when no operation has positive
     benefit (which, for measures violating progression, can happen while
-    still inconsistent — the trace reports it).
+    still inconsistent — the trace reports it).  ``shards="auto"`` runs
+    the rounds against a relation-sharded session (identical traces; each
+    candidate previews only on the shards it touches).
     """
     system = system or subset_system()
     working = database.copy()
@@ -160,7 +165,7 @@ def stepwise_resolve(
     # consistency check), and the round's candidates are scored as one
     # speculative batch against it — each candidate costs its affected
     # region instead of a copy plus a rebuild.
-    with MeasurementSession(list(constraints), working) as session:
+    with make_session(list(constraints), working, shards=shards) as session:
         for _ in range(max_steps):
             if session.is_consistent():
                 break

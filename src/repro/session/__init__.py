@@ -14,9 +14,22 @@ savepoint, read the patched topology with per-component value caching,
 roll back by inverse events — and whole candidate sets share one base
 resolution through
 :meth:`~repro.session.session.MeasurementSession.speculate_batch`.
+
+Multi-relation workloads scale out through
+:class:`~repro.session.sharding.ShardedMeasurementSession`: the live state
+is partitioned by relation along the constraint/relation hypergraph's
+connected components, change events fan out only to the owning shard, and
+every read re-assembles the flat views bit-identically in a fixed shard
+order (:func:`~repro.session.sharding.make_session` picks between the two
+with one ``shards=`` knob).
 """
 
 from .session import MeasurementSession
+from .sharding import (
+    ShardedMeasurementSession,
+    make_session,
+    relation_groups,
+)
 from .witnesses import (
     EqualityColumnIndex,
     WitnessStore,
@@ -27,7 +40,10 @@ from .witnesses import (
 __all__ = [
     "EqualityColumnIndex",
     "MeasurementSession",
+    "ShardedMeasurementSession",
     "WitnessStore",
     "delta_witnesses",
     "equality_columns",
+    "make_session",
+    "relation_groups",
 ]

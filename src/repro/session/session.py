@@ -42,6 +42,7 @@ from ..measures.base import (
     ComponentValueCache,
     ComponentwiseMeasure,
     component_cache_key,
+    needs_finalize_index,
 )
 from ..relational.database import ChangeEvent, Database, Fact, Savepoint
 from ..relational.values import Value
@@ -57,9 +58,71 @@ from ..violations.topology import (
 )
 from .witnesses import EqualityColumnIndex, WitnessStore, delta_witnesses
 
-#: The inherited no-op ``finalize`` — measures that keep it never need the
-#: pseudo index, so the componentwise fast path can skip building it.
-_DEFAULT_FINALIZE = ComponentwiseMeasure.finalize
+
+def _entry_values(
+    entries: list,
+    base_parts: dict,
+    measures: list,
+    cache: ComponentValueCache,
+    constraints: Sequence[Constraint],
+    database: Database,
+) -> dict[str, float]:
+    """Score *measures* over a merged base/regional component entry list.
+
+    *entries* is ``(minimum, component | None, index)`` triples sorted by
+    smallest member fact — base components resolve by identity through
+    *base_parts* (``measure → {id(component): value}``), regional (freshly
+    previewed) entries carry ``None`` and resolve through the
+    content-addressed *cache*.  This is the one float-combination loop
+    shared by single-session and sharded speculative scoring: the entry
+    order is the global component order, so the result is bit-identical to
+    commit-and-read no matter how the entries were collected.
+    """
+    pseudo: ViolationIndex | None = None
+    if any(needs_finalize_index(measure) for measure in measures):
+        pseudo = ViolationIndex()
+        for _, _, index in entries:
+            pseudo.mi_sets.extend(index.mi_sets)
+    regional_keys: dict[int, tuple] = {}
+    values: dict[str, float] = {}
+    for measure in measures:
+        parts_of = base_parts[measure]
+        parts: list[float] = []
+        for _, component, index in entries:
+            if component is not None:
+                parts.append(parts_of[id(component)])
+                continue
+            key = regional_keys.get(id(index))
+            if key is None:
+                key = component_cache_key(index, database)
+                regional_keys[id(index)] = key
+            parts.append(
+                cache.component_value(
+                    measure, constraints, database, index, key=key
+                )
+            )
+        values[measure.name] = measure.value_from_parts(parts, pseudo)
+    return values
+
+
+def _generic_speculation(session, operations: list, measures: list) -> dict[str, float]:
+    """Whole-database speculation against the assembled patched index.
+
+    The fallback for measures that do not localize (``I_d``, ``I_R_upd``):
+    apply under a savepoint, assemble the patched index, read every value,
+    roll back.  Shared by the flat and the sharded session — *session*
+    only needs ``savepoint``/``index`` and the owned database/cache.
+    """
+    with session.savepoint():
+        for operation in operations:
+            operation.apply_in_place(session.database)
+        index = session.index()
+        return {
+            measure.name: session.component_cache.value(
+                measure, session.constraints, session.database, index
+            )
+            for measure in measures
+        }
 
 
 class _SpeculationBase:
@@ -86,15 +149,30 @@ class MeasurementSession:
     through the session's :meth:`insert`/:meth:`delete`/:meth:`update`
     conveniences or directly through the database — noise generators and
     cleaners that mutate in place are tracked all the same.
+
+    The witness/topology core is reusable as a *shard*: pass a pre-lowered
+    *dcs* subset plus ``subscribe=False`` and a shared *component_cache*,
+    and the session maintains exactly those constraints over the change
+    events its owner routes to :meth:`_on_change` — this is how
+    :class:`~repro.session.sharding.ShardedMeasurementSession` partitions
+    the live state by relation without duplicating any maintenance logic.
     """
 
     def __init__(
-        self, constraints: Sequence[Constraint], database: Database
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        *,
+        dcs: Sequence[DenialConstraint] | None = None,
+        subscribe: bool = True,
+        component_cache: ComponentValueCache | None = None,
     ) -> None:
         self.constraints = list(constraints)
         self.database = database
-        self.dcs: list[DenialConstraint] = lower_constraints(
-            self.constraints, database.schema
+        self.dcs: list[DenialConstraint] = (
+            list(dcs)
+            if dcs is not None
+            else lower_constraints(self.constraints, database.schema)
         )
         self._eq_index = EqualityColumnIndex.for_constraints(
             database.schema, self.dcs
@@ -107,7 +185,9 @@ class MeasurementSession:
         self._touching: dict[int, set[tuple[int, frozenset[int]]]] = {}
         self._dirty: set[int] = set()
         self._cached: ViolationIndex | None = None
-        self.component_cache = ComponentValueCache()
+        self.component_cache = (
+            component_cache if component_cache is not None else ComponentValueCache()
+        )
         self.topology = ComponentTopology(self.dcs, database)
         # Memoized base snapshot for batched speculation, keyed on the
         # topology generation: flushes that change no witness leave both
@@ -115,7 +195,9 @@ class MeasurementSession:
         self._spec_base: _SpeculationBase | None = None
         self._spec_base_generation = -1
         self._closed = False
-        database.subscribe(self._on_change)
+        self._subscribed = subscribe
+        if subscribe:
+            database.subscribe(self._on_change)
         self._rebuild()
 
     # ------------------------------------------------------------------
@@ -124,7 +206,8 @@ class MeasurementSession:
     def close(self) -> None:
         """Detach from the database's change feed (idempotent)."""
         if not self._closed:
-            self.database.unsubscribe(self._on_change)
+            if self._subscribed:
+                self.database.unsubscribe(self._on_change)
             self._closed = True
 
     def __enter__(self) -> "MeasurementSession":
@@ -236,7 +319,7 @@ class MeasurementSession:
         if not all(
             isinstance(measure, ComponentwiseMeasure) for measure in measures
         ):
-            return self._speculate_generic(list(operations), measures)
+            return _generic_speculation(self, list(operations), measures)
         if self._dirty:
             self._flush()
         with self.savepoint():
@@ -285,7 +368,7 @@ class MeasurementSession:
             isinstance(measure, ComponentwiseMeasure) for measure in measures
         ):
             return [
-                self._speculate_generic(operations, measures)
+                _generic_speculation(self, operations, measures)
                 for operations in candidates
             ]
         base = self._speculation_base()
@@ -320,9 +403,38 @@ class MeasurementSession:
         combine base parts (by identity) with freshly solved regional parts
         in the merged component order — bit-identical to commit-and-read.
         """
+        minimized, region = self._preview_region(touched)
+        entries: list[tuple[int, TopologyComponent | None, ViolationIndex]] = [
+            (component.minimum, component, component.index)
+            for component in base.components
+            if component not in region
+        ]
+        entries.extend(
+            (minimum, None, index)
+            for minimum, index in split_minimized(minimized)
+        )
+        entries.sort(key=lambda entry: entry[0])
+        return _entry_values(
+            entries,
+            base.parts,
+            measures,
+            self.component_cache,
+            self.constraints,
+            self.database,
+        )
+
+    def _preview_region(
+        self, touched: set[int]
+    ) -> tuple[list[frozenset[int]], set[TopologyComponent]]:
+        """Read-only region preview of retracting/re-enumerating *touched*.
+
+        The witness delta of the facts in *touched* against the (patched)
+        database — retract what binds them, re-enumerate around the live
+        ones — handed to :meth:`~repro.violations.topology.ComponentTopology.preview`.
+        No live structure is written; sharded sessions call this per shard
+        with the shard's slice of a candidate's touched facts.
+        """
         database = self.database
-        topology = self.topology
-        cache = self.component_cache
         gone: set[frozenset[int]] = set()
         for fact in touched:
             for _, witness in self._touching.get(fact, ()):
@@ -334,49 +446,7 @@ class MeasurementSession:
                 fresh.update(
                     delta_witnesses(dc, database, live, self._eq_index)
                 )
-        minimized, region = topology.preview(gone, fresh)
-        entries: list[tuple[int, TopologyComponent | None, ViolationIndex]] = [
-            (component.minimum, component, component.index)
-            for component in base.components
-            if component not in region
-        ]
-        entries.extend(
-            (minimum, None, index)
-            for minimum, index in split_minimized(minimized)
-        )
-        entries.sort(key=lambda entry: entry[0])
-        pseudo: ViolationIndex | None = None
-        if any(
-            type(measure).finalize is not _DEFAULT_FINALIZE
-            for measure in measures
-        ):
-            pseudo = ViolationIndex()
-            for _, _, index in entries:
-                pseudo.mi_sets.extend(index.mi_sets)
-        regional_keys: dict[int, tuple] = {}
-        values: dict[str, float] = {}
-        for measure in measures:
-            base_parts = base.parts[measure]
-            parts: list[float] = []
-            for _, component, index in entries:
-                if component is not None:
-                    parts.append(base_parts[id(component)])
-                    continue
-                key = regional_keys.get(id(index))
-                if key is None:
-                    key = component_cache_key(index, database)
-                    regional_keys[id(index)] = key
-                parts.append(
-                    cache.component_value(
-                        measure, self.constraints, database, index, key=key
-                    )
-                )
-            combined = measure.combine(parts)
-            if type(measure).finalize is _DEFAULT_FINALIZE:
-                values[measure.name] = float(combined)
-            else:
-                values[measure.name] = float(measure.finalize(combined, pseudo))
-        return values
+        return self.topology.preview(gone, fresh)
 
     def _speculation_base(self) -> _SpeculationBase:
         """The memoized base snapshot for batched speculation.
@@ -433,25 +503,9 @@ class MeasurementSession:
             )
             for component in topology.components()
         ]
-        combined = measure.combine(parts)
-        if type(measure).finalize is _DEFAULT_FINALIZE:
-            return float(combined)
-        return float(measure.finalize(combined, topology.pseudo_index()))
-
-    def _speculate_generic(
-        self, operations: list, measures: list
-    ) -> dict[str, float]:
-        """Whole-database speculation against the assembled patched index."""
-        with self.savepoint():
-            for operation in operations:
-                operation.apply_in_place(self.database)
-            index = self.index()
-            return {
-                measure.name: self.component_cache.value(
-                    measure, self.constraints, self.database, index
-                )
-                for measure in measures
-            }
+        if needs_finalize_index(measure):
+            return measure.value_from_parts(parts, topology.pseudo_index())
+        return measure.value_from_parts(parts)
 
     # ------------------------------------------------------------------
     # Internals
@@ -481,6 +535,8 @@ class MeasurementSession:
                         entry = self._touching.get(other)
                         if entry is not None:
                             entry.discard((dc_position, witness))
+                            if not entry:
+                                del self._touching[other]
         live = {i for i in dirty if i in self.database}
         if live:
             for dc_position, dc in enumerate(self.dcs):

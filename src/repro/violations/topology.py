@@ -49,6 +49,7 @@ that invariant after every step of mixed insert/delete/update streams.
 
 from __future__ import annotations
 
+import heapq
 from operator import attrgetter
 from typing import Iterable, Sequence
 
@@ -152,6 +153,7 @@ class ComponentTopology:
         self._components: set[TopologyComponent] = set()
         self._component_of: dict[int, TopologyComponent] = {}
         self._ordered: list[TopologyComponent] | None = []
+        self._mi_pairs: list[tuple[tuple, frozenset[int]]] | None = []
         self._mi_cache: list[frozenset[int]] | None = []
         self._pseudo: ViolationIndex | None = None
         self._indexes: list[ViolationIndex] | None = []
@@ -180,16 +182,32 @@ class ComponentTopology:
             ]
         return self._indexes
 
+    def assemble_mi_pairs(self) -> list[tuple[tuple, frozenset[int]]]:
+        """The globally sorted ``(sort key, MI set)`` pairs, maintained.
+
+        Each component's ``mi_pairs`` list is already sorted (``_minimize``
+        emits the regional family in key order and the component split
+        preserves it), so the global view is a k-way merge of the cached
+        per-component views — O(n log k) against the O(n log n) re-sort
+        this replaces.  Keys are unique (a key reconstructs its set), so
+        the merge never falls through to comparing the frozensets.  Sharded
+        sessions merge these pair lists *across* shards under the same key
+        without recomputing it.
+        """
+        if self._mi_pairs is None:
+            self._mi_pairs = list(
+                heapq.merge(
+                    *(component.mi_pairs for component in self._components)
+                )
+            )
+        return self._mi_pairs
+
     def assemble_mi(self) -> list[frozenset[int]]:
         """``MI_Σ(D)``, list-identical to ``_minimize`` over the raw family."""
         if self._mi_cache is None:
-            pairs: list[tuple[tuple, frozenset[int]]] = []
-            for component in self.components():
-                pairs.extend(component.mi_pairs)
-            # Keys are unique (a key reconstructs its set), so the plain
-            # C-level tuple sort never falls through to the frozensets.
-            pairs.sort()
-            self._mi_cache = [witness for _, witness in pairs]
+            self._mi_cache = [
+                witness for _, witness in self.assemble_mi_pairs()
+            ]
         return self._mi_cache
 
     def pseudo_index(self) -> ViolationIndex:
@@ -287,6 +305,7 @@ class ComponentTopology:
         self._split(minimized)
         self.generation += 1
         self._ordered = None
+        self._mi_pairs = None
         self._mi_cache = None
         self._pseudo = None
         self._indexes = None

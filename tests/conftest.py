@@ -1,6 +1,18 @@
-"""Shared fixtures: small schemas, databases and constraint sets."""
+"""Shared fixtures: small schemas, databases, constraints — and seeds.
+
+Randomized suites draw their entropy from one session-scoped
+``--repro-seed`` option: every test case derives its own seed from the
+session seed and its node id, so a whole run is reproduced by a single
+number, yet no two cases (or parametrizations) share a stream.  On
+failure the seeds are echoed in the report, so a red randomized run is
+one ``--repro-seed N`` away from a local repro.
+"""
 
 from __future__ import annotations
+
+import os
+import random
+import zlib
 
 import pytest
 
@@ -12,6 +24,76 @@ from repro.datasets.example1 import (
     noisy_database_d2,
 )
 from repro.relational import Database, Schema
+
+#: Default session seed — fixed so plain ``pytest`` runs are stable; CI or
+#: soak runs vary it via ``--repro-seed`` / ``REPRO_SEED``.
+_DEFAULT_SEED = 0
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--repro-seed",
+        action="store",
+        type=int,
+        default=None,
+        help=(
+            "session seed for the randomized suites; per-case seeds derive "
+            "from it and the test node id (default: REPRO_SEED env var or "
+            f"{_DEFAULT_SEED})"
+        ),
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long randomized/e2e suites (CI's fast lane runs -m 'not slow')",
+    )
+    seed = config.getoption("--repro-seed")
+    if seed is None:
+        seed = int(os.environ.get("REPRO_SEED", _DEFAULT_SEED))
+    config._repro_session_seed = seed
+
+
+def derive_case_seed(session_seed: int, node_id: str) -> int:
+    """The per-case seed: stable hash of the session seed and node id."""
+    return zlib.crc32(f"{session_seed}:{node_id}".encode("utf-8"))
+
+
+@pytest.fixture(scope="session")
+def repro_session_seed(request) -> int:
+    """The session-scoped ``--repro-seed`` value."""
+    return request.config._repro_session_seed
+
+
+@pytest.fixture
+def case_seed(request, repro_session_seed) -> int:
+    """This test case's derived seed (echoed on failure)."""
+    seed = derive_case_seed(repro_session_seed, request.node.nodeid)
+    request.node._repro_seeds = (repro_session_seed, seed)
+    return seed
+
+
+@pytest.fixture
+def case_rng(case_seed) -> random.Random:
+    """A ``random.Random`` seeded with this case's derived seed."""
+    return random.Random(case_seed)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_makereport(item, call):
+    report = yield
+    seeds = getattr(item, "_repro_seeds", None)
+    if seeds is not None and report.when == "call" and report.failed:
+        session_seed, seed = seeds
+        report.sections.append(
+            (
+                "repro seed",
+                f"randomized case seed {seed}; reproduce this run with "
+                f"--repro-seed {session_seed}",
+            )
+        )
+    return report
 
 
 @pytest.fixture

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.relational import Database, Fact, Schema, SchemaError
+from repro.relational.database import ChangeEvent
 
 
 @pytest.fixture
@@ -109,6 +110,124 @@ class TestViews:
         assert db1 == db2
         db2.update(0, "A", 9)
         assert db1 != db2
+
+
+class TestSavepointEdgeCases:
+    """Nested-savepoint ordering under subscriber churn.
+
+    Shards and sessions are plain change-feed subscribers, so attaching or
+    detaching one mid-savepoint must compose with rollback like any other
+    listener: a subscriber observes exactly the events committed while it
+    was attached — including the inverse events a rollback replays.
+    """
+
+    def test_listener_attached_mid_savepoint_sees_the_full_undo(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1), (2, 2)])
+        events: list[ChangeEvent] = []
+        with db.savepoint():
+            db.update(0, "B", 9)
+            db.subscribe(events.append)  # a shard attaching mid-savepoint
+            db.delete(1)
+        # The late subscriber saw the delete it was attached for, then the
+        # whole undo newest-first: restore of fact 1, un-update of fact 0.
+        assert [(e.action, e.identifier) for e in events] == [
+            ("delete", 1),
+            ("insert", 1),
+            ("update", 0),
+        ]
+        assert events[-1].new == Fact("R", (1, 1))  # pre-image reinstated
+        db.unsubscribe(events.append)
+
+    def test_listener_detached_mid_savepoint_misses_the_undo(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1)])
+        events: list[ChangeEvent] = []
+        db.subscribe(events.append)
+        with db.savepoint():
+            db.update(0, "B", 9)
+            db.unsubscribe(events.append)  # a shard detaching mid-savepoint
+            db.update(0, "A", 7)
+        assert [(e.action, e.identifier) for e in events] == [("update", 0)]
+        assert db[0] == Fact("R", (1, 1))  # rollback still ran fully
+
+    def test_listener_unsubscribing_during_rollback_is_safe(self, schema):
+        db = Database.from_rows(schema, "R", [(1, 1), (2, 2)])
+        seen: list[str] = []
+
+        def churn(event: ChangeEvent) -> None:
+            seen.append(event.action)
+            db.unsubscribe(churn)  # detach on the first replayed inverse
+
+        with db.savepoint():
+            db.delete(0)
+            db.delete(1)
+            db.subscribe(churn)
+        assert seen == ["insert"]  # got exactly one event, no corruption
+        assert db.ids() == [0, 1]  # the remaining inverses still replayed
+
+    def test_inner_release_inside_outer_rollback(self, schema):
+        """Released-inner changes are still undone by the outer journal."""
+        db = Database.from_rows(schema, "R", [(1, 1)])
+        with db.savepoint():
+            db.update(0, "A", 5)
+            with db.savepoint() as inner:
+                db.insert(Fact("R", (7, 7)))
+                inner.release()  # keep the insert past the inner exit
+            assert len(db) == 2  # release really kept it
+        # The outer journal recorded the inner's events directly, so its
+        # rollback undoes them in global newest-first order.
+        assert db.ids() == [0]
+        assert db[0] == Fact("R", (1, 1))
+
+    def test_inner_rollback_then_outer_release(self, schema):
+        """An undone inner stays undone when the outer keeps its changes."""
+        db = Database.from_rows(schema, "R", [(1, 1)])
+        with db.savepoint() as outer:
+            db.update(0, "B", 9)
+            with db.savepoint():
+                db.update(0, "B", 3)  # inner change, rolled back at exit
+            outer.release()
+        assert db[0] == Fact("R", (1, 9))
+
+    def test_interleaved_nesting_restores_identifiers(self, schema):
+        """Deletes/inserts across nesting levels unwind newest-first."""
+        db = Database.from_rows(schema, "R", [(1, 1), (2, 2), (3, 3)])
+        facts_before = dict(db._facts)
+        with db.savepoint():
+            db.delete(0)
+            with db.savepoint() as inner:
+                db.insert(Fact("R", (9, 9)))  # reuses identifier 0
+                db.delete(2)
+                inner.release()
+            db.insert(Fact("R", (8, 8)))  # reuses identifier 2
+        assert db._facts == facts_before
+        assert db.peek_next_id() == 3
+
+    def test_sharded_session_attach_detach_mid_savepoint(self, schema):
+        """A measurement session is a subscriber like any other.
+
+        Attached mid-savepoint it absorbs the rollback's inverse events as
+        ordinary deltas and converges to the pre-savepoint state; detached
+        mid-savepoint it goes stale and refresh() recovers.
+        """
+        from repro.constraints import FunctionalDependency
+        from repro.session import ShardedMeasurementSession
+        from repro.violations import build_violation_index
+
+        constraints = [FunctionalDependency("R", {"A"}, {"B"})]
+        db = Database.from_rows(schema, "R", [(1, 1), (1, 2), (2, 5)])
+        with db.savepoint():
+            db.update(2, "A", 1)
+            attached = ShardedMeasurementSession(constraints, db)
+            assert len(attached.index().mi_sets) == 3
+            detached = ShardedMeasurementSession(constraints, db)
+            db.update(0, "B", 2)
+            detached.close()
+            db.insert(Fact("R", (1, 7)))
+        full = build_violation_index(constraints, db)
+        assert attached.index().mi_sets == full.mi_sets
+        assert len(attached.index().mi_sets) == 1
+        attached.close()
+        assert detached.refresh().mi_sets == full.mi_sets
 
 
 class TestFact:

@@ -73,9 +73,9 @@ def schema() -> Schema:
 
 class TestIncrementalMaintenance:
     @pytest.mark.parametrize("suite", ["binary", "wide"])
-    @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_random_deltas_match_full_rebuild(self, schema, suite, seed):
-        rng = random.Random(seed)
+    @pytest.mark.parametrize("case", [0, 1, 2])
+    def test_random_deltas_match_full_rebuild(self, schema, suite, case, case_rng):
+        rng = case_rng
         database = Database.from_facts(
             schema, [_random_fact(rng) for _ in range(25)]
         )
@@ -95,8 +95,8 @@ class TestIncrementalMaintenance:
                         for v in full.per_constraint
                     }, f"step {step}"
 
-    def test_batched_deltas_flush_once(self, schema):
-        rng = random.Random(3)
+    def test_batched_deltas_flush_once(self, schema, case_rng):
+        rng = case_rng
         database = Database.from_facts(
             schema, [_random_fact(rng) for _ in range(20)]
         )
@@ -198,16 +198,21 @@ def _reference_value(name: str, constraints, database, index) -> float:
 
 class TestComponentwiseEqualsWholeDatabase:
     @pytest.mark.parametrize("suite", ["binary", "wide"])
-    @pytest.mark.parametrize("seed", [4, 5])
-    def test_all_table2_measures(self, schema, suite, seed):
-        rng = random.Random(seed)
-        database = Database.from_facts(
-            schema, [_random_fact(rng) for _ in range(14)]
-        )
+    @pytest.mark.parametrize("case", [0, 1])
+    def test_all_table2_measures(self, schema, suite, case, case_rng):
+        rng = case_rng
         constraints = _constraint_suites()[suite]
-        index = build_violation_index(constraints, database)
-        assert not index.is_consistent(), "seed must produce violations"
-        assert len(index.components()) > 1, "seed must produce >1 component"
+        # Redraw (deterministically, from the case's stream) until the
+        # sample is inconsistent with a non-trivial component split.
+        for _ in range(50):
+            database = Database.from_facts(
+                schema, [_random_fact(rng) for _ in range(14)]
+            )
+            index = build_violation_index(constraints, database)
+            if not index.is_consistent() and len(index.components()) > 1:
+                break
+        else:
+            pytest.fail("no multi-component inconsistent sample in 50 draws")
         for name in TABLE2_MEASURES:
             componentwise = make_measure(name).value(
                 constraints, database, index

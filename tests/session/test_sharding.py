@@ -1,0 +1,455 @@
+"""Sharded == unsharded conformance, constraint routing, and fan-out.
+
+The anchor invariant is differential: over randomized multi-relation
+schemas, DC sets (including cross-relation DCs that force merged shards)
+and interleaved insert/delete/update/speculate histories, a
+:class:`ShardedMeasurementSession` must return **bit-identical**
+``measure_all`` values, ``index()`` content and ``speculate_batch`` scores
+to the flat :class:`MeasurementSession` over the same database — the same
+randomized-history style black-box checking used for snapshot-isolation
+conformance, applied to the shard/unsharded equivalence contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.constraints import FunctionalDependency, parse_dc
+from repro.constraints.base import ComparisonOp
+from repro.constraints.dc import DenialConstraint, Predicate, Term
+from repro.measures import TABLE2_MEASURES, available_measures, make_measure
+from repro.relational import Database, Fact, Schema
+from repro.repairs.operations import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateOperation,
+    apply_sequence,
+)
+from repro.session import (
+    MeasurementSession,
+    ShardedMeasurementSession,
+    make_session,
+    relation_groups,
+)
+from repro.violations import build_violation_index, lower_constraints
+
+
+def _cross_dc(left: str, right: str) -> DenialConstraint:
+    """An FD-like DC linking two relations on A (forces a merged shard)."""
+    return DenialConstraint(
+        [("x", left), ("y", right)],
+        [
+            Predicate(Term.col("x", "A"), ComparisonOp.EQ, Term.col("y", "A")),
+            Predicate(Term.col("x", "B"), ComparisonOp.NE, Term.col("y", "B")),
+        ],
+        name=f"cross_{left}_{right}",
+    )
+
+
+def _random_setup(rng: random.Random) -> tuple[Schema, list]:
+    """A random multi-relation schema with a random (routable) DC set."""
+    relations = [f"R{k}" for k in range(rng.randint(2, 4))]
+    schema = Schema.from_dict(
+        {relation: ["A", "B", "C"] for relation in relations}
+    )
+    constraints: list = []
+    for relation in relations:
+        constraints.append(FunctionalDependency(relation, {"A"}, {"B"}))
+        if rng.random() < 0.5:
+            constraints.append(
+                parse_dc("not(t.A > t.C)", relation, name=f"ord_{relation}")
+            )
+    if len(relations) >= 2 and rng.random() < 0.6:
+        left, right = rng.sample(relations, 2)
+        constraints.append(_cross_dc(left, right))
+    return schema, constraints
+
+
+def _random_fact(rng: random.Random, relation: str) -> Fact:
+    return Fact(
+        relation, (rng.randint(0, 4), rng.choice("xyz"), rng.randint(0, 8))
+    )
+
+
+def _random_mutation(rng: random.Random, database: Database, relations) -> None:
+    identifiers = database.ids()
+    roll = rng.random()
+    if roll < 0.5 and identifiers:
+        attribute = rng.choice(["A", "B", "C"])
+        value = rng.randint(0, 6) if rng.random() < 0.7 else rng.choice("xyz")
+        database.update(rng.choice(identifiers), attribute, value)
+    elif roll < 0.75 or not identifiers:
+        database.insert(_random_fact(rng, rng.choice(relations)))
+    else:
+        database.delete(rng.choice(identifiers))
+
+
+def _random_candidates(
+    rng: random.Random, database: Database, relations, count: int
+) -> list[list]:
+    candidates = []
+    for _ in range(count):
+        operations = []
+        for _ in range(rng.randint(1, 3)):
+            identifiers = database.ids()
+            roll = rng.random()
+            if roll < 0.4 and identifiers:
+                operations.append(DeleteOperation(rng.choice(identifiers)))
+            elif roll < 0.8 and identifiers:
+                operations.append(
+                    UpdateOperation(
+                        rng.choice(identifiers),
+                        rng.choice(["A", "B", "C"]),
+                        rng.randint(0, 6),
+                    )
+                )
+            else:
+                operations.append(
+                    InsertOperation(_random_fact(rng, rng.choice(relations)))
+                )
+        candidates.append(operations)
+    return candidates
+
+
+def _assert_index_identical(flat: MeasurementSession, sharded) -> None:
+    fi, si = flat.index(), sharded.index()
+    assert fi.mi_sets == si.mi_sets
+    assert [
+        (violation.fact_ids, violation.constraint.name)
+        for violation in fi.per_constraint
+    ] == [
+        (violation.fact_ids, violation.constraint.name)
+        for violation in si.per_constraint
+    ]
+    assert [c.mi_sets for c in fi.components()] == [
+        c.mi_sets for c in si.components()
+    ]
+    assert [
+        {(v.fact_ids, v.constraint.name) for v in c.per_constraint}
+        for c in fi.components()
+    ] == [
+        {(v.fact_ids, v.constraint.name) for v in c.per_constraint}
+        for c in si.components()
+    ]
+
+
+class TestRandomizedConformance:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("case", [0, 1, 2, 3])
+    def test_interleaved_histories_bit_identical(self, case, case_rng):
+        """measure_all, index() and speculate_batch over mixed histories."""
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [
+                _random_fact(rng, rng.choice(relations))
+                for _ in range(rng.randint(20, 35))
+            ],
+        )
+        measures = [make_measure(name) for name in TABLE2_MEASURES]
+        with MeasurementSession(constraints, database) as flat:
+            with ShardedMeasurementSession(constraints, database) as sharded:
+                for step in range(60):
+                    _random_mutation(rng, database, relations)
+                    if step % 3 == 0:
+                        assert flat.measure_all(measures) == sharded.measure_all(
+                            measures
+                        ), step
+                        _assert_index_identical(flat, sharded)
+                        assert (
+                            set(flat.problematic_facts())
+                            == sharded.problematic_facts()
+                        ), step
+                        assert flat.is_consistent() == sharded.is_consistent()
+                    if step % 10 == 0:
+                        candidates = _random_candidates(
+                            rng, database, relations, 4
+                        )
+                        batch = sharded.speculate_batch(candidates, measures)
+                        assert batch == flat.speculate_batch(
+                            candidates, measures
+                        ), step
+                        # Spot-check one candidate against copy-apply-rebuild.
+                        expected = {
+                            measure.name: measure.value(
+                                constraints,
+                                apply_sequence(database, candidates[0]),
+                            )
+                            for measure in measures
+                        }
+                        assert batch[0] == expected, step
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("case", [0, 1])
+    def test_full_registry_speculation(self, case, case_rng):
+        """Whole-database measures force the generic fallback; still equal.
+
+        Small database: the registry includes the exact update-repair
+        measure, which is exponential in the problematic-fact count.
+        """
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [_random_fact(rng, rng.choice(relations)) for _ in range(8)],
+        )
+        registry = [make_measure(name) for name in available_measures()]
+        with MeasurementSession(constraints, database) as flat:
+            with ShardedMeasurementSession(constraints, database) as sharded:
+                for _ in range(3):
+                    candidates = _random_candidates(rng, database, relations, 2)
+                    assert sharded.speculate_batch(
+                        candidates, registry
+                    ) == flat.speculate_batch(candidates, registry)
+                    assert [
+                        sharded.speculate(operations, registry)
+                        for operations in candidates
+                    ] == [
+                        flat.speculate(operations, registry)
+                        for operations in candidates
+                    ]
+                    # Keep the database small: the update-repair measure is
+                    # exponential, and random growth would make the runtime
+                    # seed-dependent.
+                    if len(database) >= 8:
+                        database.delete(rng.choice(database.ids()))
+                    else:
+                        _random_mutation(rng, database, relations)
+
+    def test_short_history_fast_lane(self, case_rng):
+        """A trimmed conformance pass that stays in CI's fast lane."""
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [_random_fact(rng, rng.choice(relations)) for _ in range(18)],
+        )
+        measures = [make_measure(name) for name in ("I_MI", "I_P", "I_MC")]
+        with MeasurementSession(constraints, database) as flat:
+            with ShardedMeasurementSession(constraints, database) as sharded:
+                for step in range(12):
+                    _random_mutation(rng, database, relations)
+                    assert flat.measure_all(measures) == sharded.measure_all(
+                        measures
+                    ), step
+                _assert_index_identical(flat, sharded)
+                candidates = _random_candidates(rng, database, relations, 3)
+                assert sharded.speculate_batch(
+                    candidates, measures
+                ) == flat.speculate_batch(candidates, measures)
+
+    def test_sharded_session_attached_mid_history(self, case_rng):
+        """A sharded session built over a dirty mid-stream state conforms."""
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [_random_fact(rng, rng.choice(relations)) for _ in range(15)],
+        )
+        with MeasurementSession(constraints, database) as flat:
+            for _ in range(10):
+                _random_mutation(rng, database, relations)
+            with ShardedMeasurementSession(constraints, database) as sharded:
+                for _ in range(10):
+                    _random_mutation(rng, database, relations)
+                _assert_index_identical(flat, sharded)
+
+
+class TestRouting:
+    def _schema(self) -> Schema:
+        return Schema.from_dict(
+            {name: ["A", "B", "C"] for name in ("R0", "R1", "R2", "R3")}
+        )
+
+    def test_single_relation_dcs_get_singleton_shards(self):
+        schema = self._schema()
+        constraints = [
+            FunctionalDependency("R0", {"A"}, {"B"}),
+            FunctionalDependency("R1", {"A"}, {"B"}),
+            FunctionalDependency("R2", {"A"}, {"B"}),
+        ]
+        dcs = lower_constraints(constraints, schema)
+        assert relation_groups(dcs, schema) == [("R0",), ("R1",), ("R2",)]
+
+    def test_cross_relation_dc_merges_shards(self):
+        schema = self._schema()
+        constraints = [
+            FunctionalDependency("R0", {"A"}, {"B"}),
+            FunctionalDependency("R1", {"A"}, {"B"}),
+            FunctionalDependency("R2", {"A"}, {"B"}),
+            _cross_dc("R0", "R2"),
+        ]
+        dcs = lower_constraints(constraints, schema)
+        assert relation_groups(dcs, schema) == [("R0", "R2"), ("R1",)]
+
+    def test_unconstrained_relations_get_no_shard(self):
+        schema = self._schema()
+        dcs = lower_constraints(
+            [FunctionalDependency("R1", {"A"}, {"B"})], schema
+        )
+        assert relation_groups(dcs, schema) == [("R1",)]
+
+    def test_every_dc_routes_to_exactly_one_shard(self):
+        schema = self._schema()
+        constraints = [
+            FunctionalDependency("R0", {"A"}, {"B"}),
+            _cross_dc("R1", "R3"),
+            FunctionalDependency("R3", {"A"}, {"B"}),
+        ]
+        database = Database(schema)
+        with ShardedMeasurementSession(constraints, database) as session:
+            assert session.relation_groups == [("R0",), ("R1", "R3")]
+            owned = {id(dc) for shard in session.shards for dc in shard.dcs}
+            assert owned == {id(dc) for dc in session.dcs}
+            assert len(owned) == len(session.dcs)
+
+    def test_explicit_partition_validated(self):
+        schema = self._schema()
+        constraints = [
+            FunctionalDependency("R0", {"A"}, {"B"}),
+            _cross_dc("R1", "R2"),
+        ]
+        database = Database(schema)
+        session = ShardedMeasurementSession(
+            constraints, database, shards=[("R0",), ("R1", "R2")]
+        )
+        assert session.relation_groups == [("R0",), ("R1", "R2")]
+        session.close()
+        with pytest.raises(ValueError, match="crosses the shard partition"):
+            ShardedMeasurementSession(
+                constraints, database, shards=[("R0", "R1"), ("R2",)]
+            )
+        with pytest.raises(ValueError, match="in two shards"):
+            ShardedMeasurementSession(
+                constraints, database, shards=[("R0", "R1"), ("R1", "R2")]
+            )
+
+    def test_make_session_dispatch(self):
+        schema = self._schema()
+        constraints = [FunctionalDependency("R0", {"A"}, {"B"})]
+        database = Database(schema)
+        flat = make_session(constraints, database)
+        assert type(flat) is MeasurementSession
+        flat.close()
+        sharded = make_session(constraints, database, shards="auto")
+        assert type(sharded) is ShardedMeasurementSession
+        sharded.close()
+
+
+class TestFanOut:
+    def _session(self):
+        schema = Schema.from_dict(
+            {name: ["A", "B", "C"] for name in ("R0", "R1", "R2")}
+        )
+        constraints = [
+            FunctionalDependency(name, {"A"}, {"B"})
+            for name in ("R0", "R1")
+        ]
+        database = Database.from_facts(
+            schema,
+            [
+                Fact("R0", (1, "x", 0)),
+                Fact("R0", (1, "y", 0)),
+                Fact("R1", (2, "p", 0)),
+                Fact("R1", (2, "q", 0)),
+                Fact("R2", (9, "z", 0)),
+            ],
+        )
+        return database, ShardedMeasurementSession(constraints, database)
+
+    def test_events_reach_only_the_owning_shard(self):
+        database, session = self._session()
+        with session:
+            session.index()
+            database.update(0, "B", "y")  # an R0 fact
+            shard_r0 = session._shard_of_relation["R0"]
+            shard_r1 = session._shard_of_relation["R1"]
+            assert shard_r0._dirty == {0}
+            assert shard_r1._dirty == set()
+            generation_r1 = shard_r1.topology.generation
+            session.index()
+            assert shard_r1.topology.generation == generation_r1
+
+    def test_unconstrained_relation_events_are_dropped(self):
+        database, session = self._session()
+        with session:
+            session.index()
+            database.update(4, "A", 7)  # the R2 fact — no shard indexes R2
+            assert session.pending_deltas == 0
+            assert len(session.index().mi_sets) == 2
+
+    def test_untouched_shard_parts_are_not_reprobed(self):
+        """The per-shard part streams are memoized on shard generation."""
+        database, session = self._session()
+        with session:
+            measure = make_measure("I_MI")
+            assert session.measure(measure) == 2.0
+            hits, misses = (
+                session.component_cache.hits,
+                session.component_cache.misses,
+            )
+            database.update(0, "B", "y")  # resolves the R0 conflict
+            assert session.measure(measure) == 1.0
+            # The R1 shard's stream was served from the generation-keyed
+            # memo: no cache probe (hit or miss) happened for it at all,
+            # and the R0 shard's conflict vanished, so nothing was solved.
+            assert session.component_cache.misses == misses
+            assert session.component_cache.hits == hits
+
+    def test_empty_constraint_set(self):
+        schema = Schema.from_dict({"R0": ["A"]})
+        database = Database.from_facts(schema, [Fact("R0", (1,))])
+        with ShardedMeasurementSession([], database) as session:
+            assert session.shards == []
+            assert session.is_consistent()
+            assert session.index().mi_sets == []
+            assert session.measure(make_measure("I_MI")) == 0.0
+            assert session.measure(make_measure("I_MC")) == 0.0
+            assert session.problematic_facts() == set()
+
+
+class TestShardedAgainstScratch:
+    def test_index_matches_build_violation_index(self, case_rng):
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [_random_fact(rng, rng.choice(relations)) for _ in range(25)],
+        )
+        with ShardedMeasurementSession(constraints, database) as session:
+            for _ in range(15):
+                _random_mutation(rng, database, relations)
+            full = build_violation_index(constraints, database)
+            index = session.index()
+            assert index.mi_sets == full.mi_sets
+            assert {
+                (v.fact_ids, v.constraint.name) for v in index.per_constraint
+            } == {
+                (v.fact_ids, v.constraint.name) for v in full.per_constraint
+            }
+            assert [c.mi_sets for c in index.components()] == [
+                c.mi_sets for c in full.components()
+            ]
+
+    def test_refresh_recovers_from_untracked_state(self, case_rng):
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [_random_fact(rng, rng.choice(relations)) for _ in range(12)],
+        )
+        session = ShardedMeasurementSession(constraints, database)
+        session.close()
+        for _ in range(8):
+            _random_mutation(rng, database, relations)
+        full = build_violation_index(constraints, database)
+        assert session.refresh().mi_sets == full.mi_sets
