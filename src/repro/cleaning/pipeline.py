@@ -44,6 +44,7 @@ def run_incremental_pipeline(
     permutation: Sequence[int] | None = None,
     seed: int | None = None,
     shards: str | None = None,
+    warm_start=None,
 ) -> PipelineResult:
     """Clean with one additional constraint per step, measuring after each.
 
@@ -54,7 +55,11 @@ def run_incremental_pipeline(
     over the working copy turns those repairs into index deltas, so each
     measurement point only re-examines the repaired facts.  ``shards="auto"``
     shards the session by relation for multi-relation pipelines
-    (bit-identical trajectories, per-shard deltas).
+    (bit-identical trajectories, per-shard deltas).  *warm_start* accepts a
+    snapshot of the dirty base state: the pipeline measures over a working
+    ``database.copy()``, which preserves identifiers and allocator state,
+    so one snapshot warms every permutation of the same pipeline
+    (mismatches cold-build).
     """
     order = list(permutation) if permutation is not None else list(range(len(constraints)))
     if sorted(order) != list(range(len(constraints))):
@@ -66,7 +71,9 @@ def run_incremental_pipeline(
     )
     current = database.copy()
 
-    with make_session(full_set, current, shards=shards) as session:
+    with make_session(
+        full_set, current, shards=shards, warm_start=warm_start
+    ) as session:
 
         def record() -> None:
             # Batch evaluation through the session: the cleaning step's

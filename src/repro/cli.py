@@ -10,6 +10,12 @@ Usage::
 Constraints come from ``--fd`` / ``--dc`` flags or from a constraints file
 (``--constraints rules.txt``) with one rule per line: ``fd: R: A -> B`` or
 ``dc: not(t.A > t.B)``; blank lines and ``#`` comments are ignored.
+
+``--warm-start state.snap`` makes repeated runs over the same data cheap:
+the first run builds the violation index from scratch and saves the live
+measurement state to the file; later runs restore it (skipping the build)
+whenever the data and constraints still match, and silently rebuild cold
+when they do not.
 """
 
 from __future__ import annotations
@@ -67,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="also print the K facts with the highest I_MI Shapley blame",
     )
+    parser.add_argument(
+        "--warm-start",
+        type=Path,
+        metavar="PATH",
+        help="measurement-state snapshot file: restore the violation index "
+        "from PATH when it still matches the data and constraints (cold "
+        "build otherwise — never a wrong answer), and save the state back "
+        "to PATH after measuring, so repeated runs over the same CSV skip "
+        "the from-scratch build",
+    )
     return parser
 
 
@@ -103,16 +119,52 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     constraints = load_constraints(args)
     database = load_csv(args.csv, args.relation)
-    index = build_violation_index(constraints, database)
+    session = None
+    if args.warm_start:
+        from .session import MeasurementSession
+        from .session.snapshot import SnapshotError, load_snapshot
+
+        snap = None
+        if args.warm_start.exists():
+            try:
+                snap = load_snapshot(args.warm_start)
+            except (SnapshotError, OSError):
+                snap = None  # foreign/corrupt/unreadable file: cold build
+        session = MeasurementSession(constraints, database, warm_start=snap)
+        index = session.index()
+    else:
+        index = build_violation_index(constraints, database)
 
     print(f"facts: {len(database)}", file=out)
     print(f"constraints: {len(constraints)}", file=out)
+    if session is not None:
+        state = "restored" if session.warm_started else "cold build"
+        print(f"warm start: {state} ({args.warm_start})", file=out)
     print(f"minimal inconsistent subsets: {len(index.mi_sets)}", file=out)
     print(f"problematic facts: {len(index.problematic)}", file=out)
     for name in args.measures:
         measure = make_measure(name)
-        value = measure.value(constraints, database, index)
+        if session is not None:
+            value = session.measure(measure)
+        else:
+            value = measure.value(constraints, database, index)
         print(f"{name} = {value}", file=out)
+    if session is not None:
+        # A warm-restored run never mutated the database, so the state on
+        # disk is already current — re-serializing it would just re-pay
+        # the fingerprint hash and the write on every warm run.
+        if not session.warm_started:
+            from .session.snapshot import save_snapshot
+
+            try:
+                save_snapshot(session.snapshot(), args.warm_start)
+            except OSError as error:
+                # The measurements above already succeeded; an unwritable
+                # snapshot path only costs the next run its warm start.
+                print(
+                    f"warm start: could not save state ({error})", file=out
+                )
+        session.close()
 
     if args.top_violations > 0 and index.mi_sets:
         from .measures.shapley import shapley_values_mi

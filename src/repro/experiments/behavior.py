@@ -49,6 +49,7 @@ def run_behavior_experiment(
     dataset_name: str = "",
     noise_name: str = "",
     shards: str | None = None,
+    warm_start=None,
 ) -> BehaviorResult:
     """Mutate *database* in place with *noise*, measuring every *k* steps.
 
@@ -58,13 +59,18 @@ def run_behavior_experiment(
     whole database.  ``shards="auto"`` partitions the session by relation
     (:class:`~repro.session.ShardedMeasurementSession`) so multi-relation
     sweeps only re-examine the shard each step touched; results are
-    bit-identical either way.
+    bit-identical either way.  *warm_start* accepts a
+    :meth:`~repro.session.MeasurementSession.snapshot` of the same base
+    ``(Σ, D)`` so a batch of sweeps skips the from-scratch build per run
+    (mismatches cold-build; series are bit-identical either way).
     """
     result = BehaviorResult(dataset=dataset_name, noise=noise_name)
     for measure in measures:
         result.series[measure.name] = []
 
-    with make_session(constraints, database, shards=shards) as session:
+    with make_session(
+        constraints, database, shards=shards, warm_start=warm_start
+    ) as session:
 
         def record(iteration: int) -> None:
             # Batch evaluation through the session: component-wise measures

@@ -178,6 +178,46 @@ def component_cache_key(
     )
 
 
+def _plain_data(value) -> bool:
+    """Whether *value* is immutable plain data, recursively.
+
+    The guard behind :func:`warm_cache_token`: a container that *holds*
+    an opaque or mutable object (a list inside a tuple, a callable) must
+    disqualify the measure just like a bare one — tokens have to be
+    hashable and picklable, and two processes must agree on their meaning.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(_plain_data(item) for item in value)
+    return False
+
+
+def warm_cache_token(measure: InconsistencyMeasure) -> tuple | None:
+    """A cross-process identity for *measure*, or None when it has none.
+
+    Live cache entries are keyed by measure *instance* (identity), which
+    does not survive serialization; warm-start snapshots re-key the
+    exported entries under ``(module, qualname, name, config)`` so a fresh
+    process's equally configured instance re-adopts them.  The config part
+    is the instance's attributes — only measures whose entire configuration
+    is plain immutable data get a token; anything carrying an opaque object
+    (e.g. a custom cost function, even nested inside a tuple) returns None
+    and its entries are simply not exported, which is always safe.
+    """
+    config = []
+    for attribute, value in sorted(vars(measure).items()):
+        if not _plain_data(value):
+            return None
+        config.append((attribute, value))
+    return (
+        type(measure).__module__,
+        type(measure).__qualname__,
+        measure.name,
+        tuple(config),
+    )
+
+
 class ComponentValueCache:
     """Per-component measure values, memoized across database states.
 
@@ -192,9 +232,15 @@ class ComponentValueCache:
     Keys embed the measure *instance* (identity-hashed and kept alive by the
     dict), so differently configured instances of one measure never share
     entries.  Non-component-wise measures (``I_d``, ``I_R_upd``) bypass the
-    cache — their values do not localize.  The cache self-bounds: on
-    reaching *max_entries* it clears wholesale (content-addressed entries
-    are always safe to drop).
+    cache — their values do not localize.
+
+    **Bounding.**  The cache self-bounds with LRU eviction: hits refresh an
+    entry's recency, and crossing *max_entries* evicts the stalest entries
+    — except those whose content key belongs to a component *live* in some
+    registered topology (:meth:`add_pin_source`), which a sweep re-reads at
+    every measurement point and must never lose.  (When every entry is
+    pinned the cache is allowed to exceed the bound; correctness over
+    memory.)
 
     Content keys are the cache's ground truth; batched speculation layers a
     second, cheaper discipline on top: within one scoring round the live
@@ -202,19 +248,125 @@ class ComponentValueCache:
     resolves each base component through this cache once and thereafter
     shares the value by ``id()`` — see
     :meth:`~repro.session.session.MeasurementSession.speculate_batch`.
+
+    **Warm starts.**  :meth:`export_warm` / :meth:`absorb_warm` move the
+    live components' entries through a snapshot: absorbed entries sit in a
+    side table keyed by :func:`warm_cache_token` and are promoted — and
+    consumed — the first time an equally configured measure instance asks
+    for them (counted as hits: the solver work was done in the donor
+    process; the value then lives in the identity-keyed main table and the
+    side-table copy is freed).
     """
 
     def __init__(self, max_entries: int = 65536) -> None:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._values: dict[tuple, float] = {}
+        self._warm: dict[tuple, float] = {}
+        # Memoized warm tokens per measure instance (the instance is held
+        # alive alongside, exactly like the main table's keys): the warm
+        # probe on a miss must not pay a vars() walk per component.
+        self._tokens: dict[int, tuple[object, tuple | None]] = {}
+        self._pin_sources: list = []
 
     def __len__(self) -> int:
         return len(self._values)
 
     def clear(self) -> None:
         self._values.clear()
+        self._warm.clear()
+        self._tokens.clear()
+
+    def _token_of(self, measure) -> tuple | None:
+        entry = self._tokens.get(id(measure))
+        if entry is None or entry[0] is not measure:
+            entry = (measure, warm_cache_token(measure))
+            self._tokens[id(measure)] = entry
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    # Live-component pinning
+    # ------------------------------------------------------------------
+    def add_pin_source(self, provider) -> None:
+        """Register a callable yielding the content keys eviction must spare.
+
+        Sessions register their topology's live component keys here; the
+        provider is polled only when an eviction actually runs.
+        """
+        self._pin_sources.append(provider)
+
+    def remove_pin_source(self, provider) -> None:
+        """Unregister a provider; missing providers are ignored."""
+        try:
+            self._pin_sources.remove(provider)
+        except ValueError:
+            pass
+
+    def _evict(self) -> None:
+        """Drop stale unpinned entries until comfortably under the bound.
+
+        Evicts in recency order (the value dict is LRU-ordered) down to
+        ⅞ of *max_entries*, so the pin-set collection amortizes over many
+        inserts instead of running per miss at the boundary.
+        """
+        pinned: set[tuple] = set()
+        for provider in self._pin_sources:
+            pinned.update(provider())
+        target = self.max_entries - max(1, self.max_entries // 8)
+        for entry in list(self._values):
+            if len(self._values) <= target:
+                break
+            if entry[1] in pinned:
+                continue
+            del self._values[entry]
+            self.evictions += 1
+        # Token memos pin their measure instances; drop the ones whose
+        # measures no longer key any live entry (same amortization as the
+        # value eviction itself).
+        if self._tokens:
+            live = {id(measure) for measure, _ in self._values}
+            self._tokens = {
+                key: entry
+                for key, entry in self._tokens.items()
+                if key in live
+            }
+
+    # ------------------------------------------------------------------
+    # Warm-start entry transfer
+    # ------------------------------------------------------------------
+    def export_warm(self, live_keys) -> list[tuple[tuple, tuple, float]]:
+        """``(measure token, content key, value)`` for the live components.
+
+        Only entries whose content key is in *live_keys* (the snapshotting
+        session's current components) and whose measure has a
+        :func:`warm_cache_token` are exported — dead states and opaquely
+        configured measures stay behind.
+        """
+        live = set(live_keys)
+        exported: list[tuple[tuple, tuple, float]] = []
+        for (measure, key), value in self._values.items():
+            if key not in live:
+                continue
+            token = self._token_of(measure)
+            if token is None:
+                continue
+            exported.append((token, key, value))
+        return exported
+
+    def absorb_warm(self, entries) -> None:
+        """Adopt exported entries into the warm side table.
+
+        Malformed entries (unhashable tokens or keys in a hand-crafted or
+        corrupted snapshot) are dropped rather than raised — a warm start
+        degrades, never crashes.
+        """
+        for token, key, value in entries:
+            try:
+                self._warm[(token, key)] = value
+            except TypeError:
+                continue
 
     def component_value(
         self,
@@ -233,14 +385,26 @@ class ComponentValueCache:
             key = component_cache_key(component, database)
         entry = (measure, key)
         part = self._values.get(entry)
+        if part is not None:
+            self.hits += 1
+            # LRU refresh: re-insertion moves the entry to the young end.
+            self._values[entry] = self._values.pop(entry)
+            return part
+        if self._warm:
+            token = self._token_of(measure)
+            if token is not None:
+                # Promotion consumes the warm entry: the value lives on in
+                # the main table, and the donor payload is freed as it is
+                # adopted instead of being held for the cache's lifetime.
+                part = self._warm.pop((token, key), None)
         if part is None:
-            if len(self._values) >= self.max_entries:
-                self._values.clear()
             part = measure.component_value(constraints, database, component)
-            self._values[entry] = part
             self.misses += 1
         else:
             self.hits += 1
+        if len(self._values) >= self.max_entries:
+            self._evict()
+        self._values[entry] = part
         return part
 
     def value(

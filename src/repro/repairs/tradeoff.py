@@ -147,6 +147,7 @@ def stepwise_resolve(
     system: RepairSystem | None = None,
     max_steps: int = 100,
     shards: str | None = None,
+    warm_start=None,
 ) -> ResolutionTrace:
     """Greedy highest-benefit-first resolution (mutates a copy).
 
@@ -154,7 +155,11 @@ def stepwise_resolve(
     benefit (which, for measures violating progression, can happen while
     still inconsistent — the trace reports it).  ``shards="auto"`` runs
     the rounds against a relation-sharded session (identical traces; each
-    candidate previews only on the shards it touches).
+    candidate previews only on the shards it touches).  *warm_start*
+    accepts a snapshot of the dirty base: resolution runs over a working
+    ``database.copy()`` (identifiers and allocator preserved), so one
+    snapshot warms repeated trade-off runs — e.g. the same base resolved
+    under several measures (mismatches cold-build; traces identical).
     """
     system = system or subset_system()
     working = database.copy()
@@ -165,7 +170,9 @@ def stepwise_resolve(
     # consistency check), and the round's candidates are scored as one
     # speculative batch against it — each candidate costs its affected
     # region instead of a copy plus a rebuild.
-    with make_session(list(constraints), working, shards=shards) as session:
+    with make_session(
+        list(constraints), working, shards=shards, warm_start=warm_start
+    ) as session:
         for _ in range(max_steps):
             if session.is_consistent():
                 break

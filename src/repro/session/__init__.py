@@ -22,6 +22,14 @@ connected components, change events fan out only to the owning shard, and
 every read re-assembles the flat views bit-identically in a fixed shard
 order (:func:`~repro.session.sharding.make_session` picks between the two
 with one ``shards=`` knob).
+
+Repeated sweeps over the same ``(Σ, D)`` warm-start instead of rebuilding:
+``session.snapshot()`` captures the full derived state (witness stores,
+component topology, live cache entries) behind a database fingerprint, and
+``MeasurementSession(..., warm_start=snap)`` /
+``ShardedMeasurementSession(..., warm_start=snap)`` restore it in O(state)
+— falling back to the ordinary cold build on any mismatch, so a warm start
+is never a wrong answer (:mod:`repro.session.snapshot`).
 """
 
 from .session import MeasurementSession
@@ -29,6 +37,18 @@ from .sharding import (
     ShardedMeasurementSession,
     make_session,
     relation_groups,
+)
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    DatabaseFingerprint,
+    SessionSnapshot,
+    ShardedSessionSnapshot,
+    SnapshotError,
+    database_fingerprint,
+    dump_snapshot,
+    load_snapshot,
+    load_snapshot_bytes,
+    save_snapshot,
 )
 from .witnesses import (
     EqualityColumnIndex,
@@ -38,12 +58,22 @@ from .witnesses import (
 )
 
 __all__ = [
+    "DatabaseFingerprint",
     "EqualityColumnIndex",
     "MeasurementSession",
+    "SNAPSHOT_VERSION",
+    "SessionSnapshot",
     "ShardedMeasurementSession",
+    "ShardedSessionSnapshot",
+    "SnapshotError",
     "WitnessStore",
+    "database_fingerprint",
     "delta_witnesses",
+    "dump_snapshot",
     "equality_columns",
+    "load_snapshot",
+    "load_snapshot_bytes",
     "make_session",
     "relation_groups",
+    "save_snapshot",
 ]

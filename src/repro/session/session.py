@@ -56,7 +56,27 @@ from ..violations.topology import (
     TopologyComponent,
     split_minimized,
 )
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    DatabaseFingerprint,
+    SessionSnapshot,
+    constraint_digest,
+    database_fingerprint,
+)
 from .witnesses import EqualityColumnIndex, WitnessStore, delta_witnesses
+
+
+def _split_measures(measures: list) -> tuple[list, list]:
+    """Partition a measure list into (component-wise, whole-database).
+
+    Mixed requests must not drag the component-wise majority through the
+    generic whole-database path: the fast measures keep the localized /
+    merged-stream evaluation and only the non-decomposing stragglers
+    (``I_d``, ``I_R_upd``) pay full index assembly.
+    """
+    fast = [m for m in measures if isinstance(m, ComponentwiseMeasure)]
+    generic = [m for m in measures if not isinstance(m, ComponentwiseMeasure)]
+    return fast, generic
 
 
 def _entry_values(
@@ -105,6 +125,22 @@ def _entry_values(
     return values
 
 
+def _generic_values(session, measures: list) -> dict[str, float]:
+    """Non-decomposing measures read off the assembled (patched) index.
+
+    Runs inside the caller's savepoint (or against the committed state):
+    the one whole-database read both sessions' mixed ``speculate`` paths
+    and :func:`_generic_speculation` share.
+    """
+    index = session.index()
+    return {
+        measure.name: session.component_cache.value(
+            measure, session.constraints, session.database, index
+        )
+        for measure in measures
+    }
+
+
 def _generic_speculation(session, operations: list, measures: list) -> dict[str, float]:
     """Whole-database speculation against the assembled patched index.
 
@@ -116,13 +152,24 @@ def _generic_speculation(session, operations: list, measures: list) -> dict[str,
     with session.savepoint():
         for operation in operations:
             operation.apply_in_place(session.database)
-        index = session.index()
-        return {
-            measure.name: session.component_cache.value(
-                measure, session.constraints, session.database, index
-            )
-            for measure in measures
-        }
+        return _generic_values(session, measures)
+
+
+def _merge_generic_batch(
+    session, candidates: list, results: list, generic: list, measures: list
+) -> list[dict[str, float]]:
+    """Fold a mixed batch's whole-database stragglers into its results.
+
+    One generic pass per candidate, merged back and re-keyed in the
+    caller's measure order — shared by the flat and the sharded
+    ``speculate_batch``.
+    """
+    for operations, values in zip(candidates, results):
+        values.update(_generic_speculation(session, operations, generic))
+    return [
+        {measure.name: values[measure.name] for measure in measures}
+        for values in results
+    ]
 
 
 class _SpeculationBase:
@@ -166,6 +213,8 @@ class MeasurementSession:
         dcs: Sequence[DenialConstraint] | None = None,
         subscribe: bool = True,
         component_cache: ComponentValueCache | None = None,
+        warm_start: SessionSnapshot | None = None,
+        warm_fingerprint: DatabaseFingerprint | None = None,
     ) -> None:
         self.constraints = list(constraints)
         self.database = database
@@ -174,21 +223,21 @@ class MeasurementSession:
             if dcs is not None
             else lower_constraints(self.constraints, database.schema)
         )
-        self._eq_index = EqualityColumnIndex.for_constraints(
-            database.schema, self.dcs
-        )
-        self._eq_index.build(database)
-        # Per-DC witness stores and the reverse fact → (dc, witness) map.
-        self._witnesses: list[WitnessStore] = [
-            WitnessStore(dc) for dc in self.dcs
-        ]
-        self._touching: dict[int, set[tuple[int, frozenset[int]]]] = {}
+        # The equality-column index, witness stores (with the reverse
+        # fact → (dc, witness) map) and the topology are all created by
+        # exactly one of _restore/_rebuild below.
+        self._eq_index: EqualityColumnIndex
+        self._witnesses: list[WitnessStore]
+        self._touching: dict[int, set[tuple[int, frozenset[int]]]]
+        self.topology: ComponentTopology
         self._dirty: set[int] = set()
         self._cached: ViolationIndex | None = None
         self.component_cache = (
             component_cache if component_cache is not None else ComponentValueCache()
         )
-        self.topology = ComponentTopology(self.dcs, database)
+        # Eviction must never drop a component the live topology still
+        # reads every measurement point.
+        self.component_cache.add_pin_source(self._live_cache_keys)
         # Memoized base snapshot for batched speculation, keyed on the
         # topology generation: flushes that change no witness leave both
         # the generation and this snapshot untouched.
@@ -198,7 +247,13 @@ class MeasurementSession:
         self._subscribed = subscribe
         if subscribe:
             database.subscribe(self._on_change)
-        self._rebuild()
+        #: Whether construction restored a warm-start snapshot (False on
+        #: fallback — a mismatched snapshot cold-builds, never mis-restores).
+        self.warm_started = warm_start is not None and self._restore(
+            warm_start, warm_fingerprint
+        )
+        if not self.warm_started:
+            self._rebuild()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -208,6 +263,7 @@ class MeasurementSession:
         if not self._closed:
             if self._subscribed:
                 self.database.unsubscribe(self._on_change)
+            self.component_cache.remove_pin_source(self._live_cache_keys)
             self._closed = True
 
     def __enter__(self) -> "MeasurementSession":
@@ -284,6 +340,107 @@ class MeasurementSession:
         return self.index()
 
     # ------------------------------------------------------------------
+    # Warm-start snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SessionSnapshot:
+        """Capture the full derived state for a later warm start.
+
+        The snapshot embeds the database fingerprint and the lowered-DC
+        digest; ``MeasurementSession(..., warm_start=snap)`` restores it
+        only when both still match (falling back to a cold build
+        otherwise), so a warm-started session is bit-identical to a cold
+        one on every read — see :mod:`repro.session.snapshot`.  Snapshots
+        round-trip through :func:`~repro.session.snapshot.save_snapshot` /
+        :func:`~repro.session.snapshot.load_snapshot` (or plain pickle).
+        """
+        if self._dirty:
+            self._flush()
+        return self._snapshot_payload(database_fingerprint(self.database))
+
+    def _snapshot_payload(
+        self, fingerprint: DatabaseFingerprint
+    ) -> SessionSnapshot:
+        """The snapshot body under a caller-provided fingerprint.
+
+        Sharded sessions fingerprint the shared database once and hand the
+        same object to every shard's payload (pickle memoizes it on disk).
+        """
+        return SessionSnapshot(
+            version=SNAPSHOT_VERSION,
+            fingerprint=fingerprint,
+            constraints=constraint_digest(self.dcs),
+            stores=[store.capture() for store in self._witnesses],
+            topology=self.topology.capture(),
+            cache=self.component_cache.export_warm(self._live_cache_keys()),
+        )
+
+    def _restore(
+        self, snap, current: DatabaseFingerprint | None = None
+    ) -> bool:
+        """Adopt a snapshot's derived state; False on any mismatch.
+
+        Verification is strict — snapshot version, lowered-DC digest,
+        schema, exact ``id → fact`` digest and allocator state — because a
+        restored state that *almost* matches would silently return wrong
+        answers.  On False the caller cold-builds instead.  *current* is a
+        caller-precomputed fingerprint of the owned database (the sharded
+        coordinator hashes once for all shards); None recomputes here.
+
+        A snapshot that deserialized but carries malformed fields (bit
+        rot, a hand-crafted file) must degrade the same way: structural
+        errors anywhere in the restore are caught and answered with False
+        — the caller's ``_rebuild`` reassigns every partially-touched
+        structure, so a half-restore leaves nothing behind.
+        """
+        try:
+            if not isinstance(snap, SessionSnapshot):
+                return False
+            if len(getattr(snap, "stores", ())) != len(self.dcs):
+                return False
+            if not snap.matches(self.dcs, self.database, current):
+                return False
+            eq_index = EqualityColumnIndex.for_constraints(
+                self.database.schema, self.dcs
+            )
+            eq_index.build(self.database)
+            self._witnesses = [
+                WitnessStore.restore(dc, keys)
+                for dc, keys in zip(self.dcs, snap.stores)
+            ]
+            self._touching = {}
+            for dc_position, store in enumerate(self._witnesses):
+                for witness in store:
+                    for identifier in witness:
+                        self._touching.setdefault(identifier, set()).add(
+                            (dc_position, witness)
+                        )
+            self.topology = ComponentTopology.restore(
+                self.dcs, self.database, snap.topology
+            )
+            self.component_cache.absorb_warm(snap.cache)
+        except Exception:
+            return False
+        self._eq_index = eq_index
+        self._dirty.clear()
+        self._cached = None
+        self._spec_base = None
+        self._spec_base_generation = -1
+        return True
+
+    def _live_cache_keys(self) -> list[tuple]:
+        """Content keys of the live components (the eviction pin set).
+
+        Only keys already computed are reported: a component without a
+        memoized key has never been cached under it, so there is nothing
+        to pin.
+        """
+        return [
+            component._cache_key
+            for component in self.topology._components
+            if component._cache_key is not None
+        ]
+
+    # ------------------------------------------------------------------
     # Speculative evaluation (what-if deltas)
     # ------------------------------------------------------------------
     def savepoint(self) -> Savepoint:
@@ -310,16 +467,17 @@ class MeasurementSession:
         region, every untouched component keeps its object identity, and
         its (possibly expensive) value is served from the per-component
         cache in the exact ``components()`` float-summation order.
-        Whole-database measures (``I_d``, ``I_R_upd``) force the generic
-        path against the fully assembled patched index.  Scoring many
+        Whole-database measures (``I_d``, ``I_R_upd``) read the fully
+        assembled patched index instead; a mixed request splits, so the
+        component-wise majority keeps the localized path.  Scoring many
         candidates against one base state is cheaper through
         :meth:`speculate_batch`.
         """
         measures = list(measures)
-        if not all(
-            isinstance(measure, ComponentwiseMeasure) for measure in measures
-        ):
-            return _generic_speculation(self, list(operations), measures)
+        operations = list(operations)
+        fast, generic = _split_measures(measures)
+        if not fast:
+            return _generic_speculation(self, operations, measures)
         if self._dirty:
             self._flush()
         with self.savepoint():
@@ -327,10 +485,13 @@ class MeasurementSession:
                 operation.apply_in_place(self.database)
             if self._dirty:
                 self._flush()
-            return {
+            values = {
                 measure.name: self._componentwise_value(measure)
-                for measure in measures
+                for measure in fast
             }
+            if generic:
+                values.update(_generic_values(self, generic))
+            return {measure.name: values[measure.name] for measure in measures}
 
     def speculate_value(self, operations: Iterable, measure) -> float:
         """One-measure :meth:`speculate` (the candidate-scoring hot path)."""
@@ -357,29 +518,28 @@ class MeasurementSession:
         apply/rollback event pairs (which restore the base bit-for-bit and
         re-pin the memoized snapshot).  Sequential :meth:`speculate` pays a
         commit + rollback re-split per candidate instead.  Mixed batches
-        containing whole-database measures fall back to per-candidate
-        generic speculation.
+        split: the component-wise measures keep this fast path, and only
+        the whole-database stragglers pay a per-candidate generic pass.
         """
         candidates = [list(operations) for operations in candidates]
         measures = list(measures)
         if not candidates:
             return []
-        if not all(
-            isinstance(measure, ComponentwiseMeasure) for measure in measures
-        ):
+        fast, generic = _split_measures(measures)
+        if not fast:
             return [
                 _generic_speculation(self, operations, measures)
                 for operations in candidates
             ]
         base = self._speculation_base()
-        self._prime_base(base, measures)
+        self._prime_base(base, fast)
         results: list[dict[str, float]] = []
         for operations in candidates:
             with self.savepoint() as savepoint:
                 for operation in operations:
                     operation.apply_in_place(self.database)
                 touched = {event.identifier for event in savepoint.events}
-                results.append(self._preview_values(base, touched, measures))
+                results.append(self._preview_values(base, touched, fast))
         # The batch never committed anything: every candidate's events were
         # rolled back (bit-identical database and equality index, by the
         # savepoint contract) and neither the stores nor the topology were
@@ -388,6 +548,10 @@ class MeasurementSession:
         # construction — drop them instead of re-enumerating every touched
         # fact.
         self._dirty.clear()
+        if generic:
+            results = _merge_generic_batch(
+                self, candidates, results, generic, measures
+            )
         return results
 
     def _preview_values(
@@ -574,6 +738,14 @@ class MeasurementSession:
         return index
 
     def _rebuild(self) -> None:
+        # The equality index is rebuilt too: a refresh after *untracked*
+        # mutations (the session was closed or never subscribed while the
+        # database changed) must not leave stale hash buckets behind, or
+        # every later delta re-enumeration would probe wrong candidates.
+        self._eq_index = EqualityColumnIndex.for_constraints(
+            self.database.schema, self.dcs
+        )
+        self._eq_index.build(self.database)
         self._witnesses = [WitnessStore(dc) for dc in self.dcs]
         self._touching = {}
         self._dirty.clear()

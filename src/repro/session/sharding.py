@@ -64,7 +64,20 @@ from ..violations.minimal import (
     lower_constraints,
 )
 from ..violations.topology import TopologyComponent, split_minimized
-from .session import MeasurementSession, _entry_values, _generic_speculation
+from .session import (
+    MeasurementSession,
+    _entry_values,
+    _generic_speculation,
+    _generic_values,
+    _merge_generic_batch,
+    _split_measures,
+)
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    ShardedSessionSnapshot,
+    constraint_digest,
+    database_fingerprint,
+)
 
 _NO_REGION: frozenset[TopologyComponent] = frozenset()
 
@@ -132,6 +145,8 @@ class ShardedMeasurementSession:
         constraints: Sequence[Constraint],
         database: Database,
         shards: str | Iterable[Iterable[str]] = "auto",
+        *,
+        warm_start: ShardedSessionSnapshot | None = None,
     ) -> None:
         self.constraints = list(constraints)
         self.database = database
@@ -157,6 +172,17 @@ class ShardedMeasurementSession:
             number = owner[next(iter({r for _, r in dc.variables}))]
             self._routing.append((number, len(shard_dcs[number])))
             shard_dcs[number].append(dc)
+        # Warm payloads only when the coordinator-level identity (format
+        # version, lowered-DC digest, routing partition, fingerprint) still
+        # holds; each shard then re-verifies its own slice and cold-builds
+        # alone on mismatch — never a wrong answer, by composition.  The
+        # shared database is fingerprinted once (after the cheap checks
+        # pass) and handed down, so a k-shard restore hashes it O(n)
+        # rather than O(k·n) times — and a rejected snapshot costs no
+        # hash at all.
+        warm_shards = warm_current = None
+        if warm_start is not None:
+            warm_shards, warm_current = self._warm_payloads(warm_start)
         self.shards: list[MeasurementSession] = [
             MeasurementSession(
                 self.constraints,
@@ -164,9 +190,15 @@ class ShardedMeasurementSession:
                 dcs=dcs,
                 subscribe=False,
                 component_cache=self.component_cache,
+                warm_start=warm_shards[number] if warm_shards else None,
+                warm_fingerprint=warm_current,
             )
-            for dcs in shard_dcs
+            for number, dcs in enumerate(shard_dcs)
         ]
+        #: Whether every shard restored from the warm-start snapshot.
+        self.warm_started = warm_shards is not None and all(
+            shard.warm_started for shard in self.shards
+        )
         self._shard_of_relation: dict[str, MeasurementSession] = {
             relation: self.shards[number] for relation, number in owner.items()
         }
@@ -181,6 +213,52 @@ class ShardedMeasurementSession:
         self._spec_base: _ShardedSpeculationBase | None = None
         self._closed = False
         database.subscribe(self._on_change)
+
+    def _warm_payloads(self, snap) -> tuple[list | None, object | None]:
+        """``(per-shard payloads, current fingerprint)``, or ``(None, None)``.
+
+        Revalidates the routing partition: the per-shard payloads describe
+        relation slices, so a snapshot captured under a different partition
+        (other constraints, another explicit grouping) must not be threaded
+        into shards it was never split for.  The database is hashed only
+        after every cheap check has passed; the computed fingerprint is
+        returned so the shards verify against it without rehashing.
+        """
+        try:
+            if not isinstance(snap, ShardedSessionSnapshot):
+                return None, None
+            current = snap.verify(
+                self.dcs, self.relation_groups, self.database
+            )
+            if current is None:
+                return None, None
+            payloads = list(snap.shards)
+        except Exception:
+            # Malformed fields in a deserialized-but-bogus snapshot must
+            # degrade to a cold build, exactly like any other mismatch.
+            return None, None
+        return payloads, current
+
+    def snapshot(self) -> ShardedSessionSnapshot:
+        """Capture every shard's derived state for a later warm start.
+
+        The shared database is fingerprinted once; each shard's payload
+        carries the same fingerprint object (pickle memoizes it on disk)
+        plus its own lowered-DC digest, stores, topology and live cache
+        entries.  ``ShardedMeasurementSession(..., warm_start=snap)``
+        restores shard by shard after revalidating the partition.
+        """
+        self._flush()
+        fingerprint = database_fingerprint(self.database)
+        return ShardedSessionSnapshot(
+            version=SNAPSHOT_VERSION,
+            fingerprint=fingerprint,
+            constraints=constraint_digest(self.dcs),
+            relation_groups=[tuple(group) for group in self.relation_groups],
+            shards=[
+                shard._snapshot_payload(fingerprint) for shard in self.shards
+            ],
+        )
 
     def _validated_groups(
         self, shards: Iterable[Iterable[str]]
@@ -312,10 +390,21 @@ class ShardedMeasurementSession:
         return {measure.name: self.measure(measure) for measure in measures}
 
     def refresh(self) -> ViolationIndex:
-        """Force a from-scratch rebuild of every shard (a cross-check tool)."""
+        """Force a from-scratch rebuild of every shard (a cross-check tool).
+
+        Every coordinator-level memo derived from the retired topologies is
+        dropped with them: the per-shard part streams and the pseudo index
+        hold the old component objects (and their values) alive, and the
+        stale assembly/pseudo keys would otherwise pin retired topology
+        objects for the session's lifetime.
+        """
         for shard in self.shards:
             shard._rebuild()
         self._cached = None
+        self._cached_key = None
+        self._parts = [{} for _ in self.shards]
+        self._pseudo = None
+        self._pseudo_key = None
         self._spec_base = None
         return self.index()
 
@@ -329,22 +418,28 @@ class ShardedMeasurementSession:
         operations apply under a savepoint, the change events fan out only
         to the touched shards, and the component-wise values are read off
         the merged patched streams before the rollback fans the inverses
-        back — bit-identical to copy-apply-rebuild.
+        back — bit-identical to copy-apply-rebuild.  A mixed measure list
+        splits: the component-wise majority keeps the merged-stream fast
+        path and only the whole-database stragglers (``I_d``, ``I_R_upd``)
+        read the fully assembled patched index.
         """
         measures = list(measures)
-        if not all(
-            isinstance(measure, ComponentwiseMeasure) for measure in measures
-        ):
-            return _generic_speculation(self, list(operations), measures)
+        operations = list(operations)
+        fast, generic = _split_measures(measures)
+        if not fast:
+            return _generic_speculation(self, operations, measures)
         self._flush()
         with self.savepoint():
             for operation in operations:
                 operation.apply_in_place(self.database)
             self._flush()
-            return {
+            values = {
                 measure.name: self._componentwise_value(measure)
-                for measure in measures
+                for measure in fast
             }
+            if generic:
+                values.update(_generic_values(self, generic))
+            return {measure.name: values[measure.name] for measure in measures}
 
     def speculate_value(self, operations: Iterable, measure) -> float:
         """One-measure :meth:`speculate` (the candidate-scoring hot path)."""
@@ -363,21 +458,22 @@ class ShardedMeasurementSession:
         candidate pays its affected regions plus O(1) lookups for the rest
         of the whole multi-relation state.  The accumulated apply/rollback
         dirty marks are balanced by construction and dropped at the end,
-        exactly like the unsharded batch.
+        exactly like the unsharded batch.  Mixed batches split exactly like
+        the unsharded batch: component-wise measures keep the fast path,
+        whole-database ones pay a per-candidate generic pass.
         """
         candidates = [list(operations) for operations in candidates]
         measures = list(measures)
         if not candidates:
             return []
-        if not all(
-            isinstance(measure, ComponentwiseMeasure) for measure in measures
-        ):
+        fast, generic = _split_measures(measures)
+        if not fast:
             return [
                 _generic_speculation(self, operations, measures)
                 for operations in candidates
             ]
         base = self._speculation_base()
-        self._prime_base(base, measures)
+        self._prime_base(base, fast)
         results: list[dict[str, float]] = []
         for operations in candidates:
             with self.savepoint() as savepoint:
@@ -393,9 +489,13 @@ class ShardedMeasurementSession:
                             touched.setdefault(shard, set()).add(
                                 event.identifier
                             )
-                results.append(self._preview_values(base, touched, measures))
+                results.append(self._preview_values(base, touched, fast))
         for shard in self.shards:
             shard._dirty.clear()
+        if generic:
+            results = _merge_generic_batch(
+                self, candidates, results, generic, measures
+            )
         return results
 
     # ------------------------------------------------------------------
@@ -599,6 +699,7 @@ def make_session(
     constraints: Sequence[Constraint],
     database: Database,
     shards: str | Iterable[Iterable[str]] | None = None,
+    warm_start=None,
 ):
     """A measurement session, sharded when *shards* asks for it.
 
@@ -607,7 +708,13 @@ def make_session(
     :class:`ShardedMeasurementSession`.  The sweep drivers expose this knob
     directly, so multi-relation workloads opt into sharding with one
     argument and single-relation ones keep the flat session.
+
+    *warm_start* threads a snapshot into whichever session is built; a
+    snapshot of the other flavor (or any mismatch) falls back to the
+    ordinary cold build.
     """
     if shards is None:
-        return MeasurementSession(constraints, database)
-    return ShardedMeasurementSession(constraints, database, shards=shards)
+        return MeasurementSession(constraints, database, warm_start=warm_start)
+    return ShardedMeasurementSession(
+        constraints, database, shards=shards, warm_start=warm_start
+    )

@@ -1,0 +1,277 @@
+"""Warm-start snapshots: the live measurement state as a portable value.
+
+The paper's experiments repeatedly measure inconsistency over the *same*
+``(Σ, D)`` pair — noise sweeps, measure comparisons and repair trajectories
+all restart from one identical base state, yet every fresh
+:class:`~repro.session.session.MeasurementSession` pays the full
+from-scratch witness enumeration, minimization and component split before
+the first delta arrives.  A :class:`SessionSnapshot` captures everything
+that cost produced — the per-constraint witness stores' sorted pair views,
+the :class:`~repro.violations.topology.ComponentTopology` (minimized MI
+family, fact → component map, dominator oracle, generation) and the
+content-addressed per-component measure values currently live — so a later
+session over the same pair restores in time linear in the *state*, not in
+the join work that derived it (the preprocess-once, maintain-under-updates
+regime of dynamic query evaluation).
+
+**Fingerprint rule.**  Restored state must be *bit-identical* to what a
+cold build would compute, never merely plausible.  A snapshot therefore
+embeds a :class:`DatabaseFingerprint` — the schema signature, a digest of
+the exact ``id → fact`` mapping, and the identifier-allocator state (which
+speculative inserts observe) — plus a canonical digest of the lowered
+denial constraints.  ``warm_start=`` restoration verifies all of them
+against the session's own ``(Σ, D)``; any mismatch (edited data, different
+rules, a foreign or future snapshot format) silently falls back to the
+ordinary cold build.  A warm start can be slower than hoped, but never a
+wrong answer.
+
+**On-disk format.**  :func:`save_snapshot` / :func:`load_snapshot` wrap the
+pickled snapshot in a magic header and an explicit format version;
+:func:`load_snapshot` raises :class:`SnapshotError` on foreign bytes or an
+unsupported version, and restoration rejects version drift even when the
+unpickle itself succeeds.
+
+Sharded snapshots (:class:`ShardedSessionSnapshot`) compose per shard: one
+shared fingerprint, the coordinator's relation partition (revalidated on
+restore — a different routing means the per-shard payloads describe the
+wrong slices), and one flat payload per shard.  A shard whose own payload
+fails verification rebuilds cold on its own; the rest still restore warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..constraints.dc import DenialConstraint
+from ..relational.database import Database
+
+#: Bump on any change to the snapshot payload layout.  Loading rejects
+#: other versions outright — a stale format must fall back to a cold
+#: build, never be reinterpreted.
+SNAPSHOT_VERSION = 1
+
+_MAGIC = b"REPRO-SNAPSHOT\n"
+
+
+class SnapshotError(ValueError):
+    """Raised on foreign, corrupt or version-incompatible snapshot bytes."""
+
+
+@dataclass(frozen=True)
+class DatabaseFingerprint:
+    """Everything the derived state depends on, as a comparable value.
+
+    The witness family is a function of the exact ``id → fact`` mapping
+    (identifiers appear in witnesses), the schema resolves attribute
+    positions, and the allocator decides which identifier a speculative
+    insert observes — so all three are part of the identity.
+    """
+
+    schema: tuple
+    facts_digest: str
+    fact_count: int
+    next_id: int
+
+
+def database_fingerprint(database: Database) -> DatabaseFingerprint:
+    """Fingerprint the current database state (O(n) hash, no copy)."""
+    schema_spec = tuple(
+        (signature.name, signature.attributes)
+        for signature in database.schema
+    )
+    digest = hashlib.sha256()
+    for identifier, fact in database.items():
+        digest.update(
+            repr((identifier, fact.relation, fact.values)).encode("utf-8")
+        )
+        digest.update(b"\x00")
+    return DatabaseFingerprint(
+        schema=schema_spec,
+        facts_digest=digest.hexdigest(),
+        fact_count=len(database),
+        next_id=database._next_id,
+    )
+
+
+def constraint_digest(dcs: Sequence[DenialConstraint]) -> tuple:
+    """Canonical identity of a lowered DC list, order included.
+
+    Witness stores and the topology's tag table are keyed by DC *position*,
+    so the digest must pin the exact sequence, not just the set.
+    """
+    return tuple(
+        (dc.name, dc.variables, tuple(str(p) for p in dc.predicates))
+        for dc in dcs
+    )
+
+
+@dataclass
+class SessionSnapshot:
+    """The full derived state of one flat :class:`MeasurementSession`.
+
+    ``stores`` holds, per lowered-DC position, the witness key tuples in
+    the store's maintained sorted order; ``topology`` is the
+    :meth:`~repro.violations.topology.ComponentTopology.capture` payload;
+    ``cache`` carries ``(measure token, content key, value)`` triples for
+    the components live at snapshot time (see
+    :meth:`~repro.measures.base.ComponentValueCache.export_warm`).
+    """
+
+    version: int
+    fingerprint: DatabaseFingerprint
+    constraints: tuple
+    stores: list = field(default_factory=list)
+    topology: dict = field(default_factory=dict)
+    cache: list = field(default_factory=list)
+
+    def matches(
+        self,
+        dcs: Sequence[DenialConstraint],
+        database: Database,
+        current: DatabaseFingerprint | None = None,
+    ) -> bool:
+        """Whether restoring into ``(dcs, database)`` is bit-safe.
+
+        *current* lets a caller that just fingerprinted *database* skip the
+        O(n) recompute — the sharded coordinator hashes the shared database
+        once and verifies every shard payload against the same value.  The
+        cheap identity checks run first, so rejecting a drifted or foreign
+        snapshot costs O(constraints), not an O(n) hash.
+        """
+        if (
+            self.version != SNAPSHOT_VERSION
+            or self.constraints != constraint_digest(dcs)
+        ):
+            return False
+        if current is None:
+            if (
+                self.fingerprint.fact_count != len(database)
+                or self.fingerprint.next_id != database._next_id
+            ):
+                return False
+            current = database_fingerprint(database)
+        return self.fingerprint == current
+
+
+@dataclass
+class ShardedSessionSnapshot:
+    """Per-shard snapshots plus the partition they were routed under."""
+
+    version: int
+    fingerprint: DatabaseFingerprint
+    constraints: tuple
+    relation_groups: list
+    shards: list = field(default_factory=list)
+
+    def verify(
+        self,
+        dcs: Sequence[DenialConstraint],
+        relation_groups: Sequence[tuple],
+        database: Database,
+    ) -> DatabaseFingerprint | None:
+        """The database's current fingerprint when restoring is bit-safe.
+
+        Coordinator-level verification, the routing partition included:
+        the per-shard payloads only describe the right slices when the
+        restoring session routes constraints exactly as the captured one
+        did.  Cheap identity checks run first, so a rejected snapshot
+        costs no hashing; on success the computed fingerprint is returned
+        so the shards can re-verify their payloads against it without
+        rehashing (O(n), not O(k·n)).  Returns None on any mismatch.
+        """
+        if (
+            self.version != SNAPSHOT_VERSION
+            or self.constraints != constraint_digest(dcs)
+            or [tuple(group) for group in self.relation_groups]
+            != [tuple(group) for group in relation_groups]
+            or len(self.shards) != len(self.relation_groups)
+            or self.fingerprint.fact_count != len(database)
+            or self.fingerprint.next_id != database._next_id
+        ):
+            return None
+        current = database_fingerprint(database)
+        return current if current == self.fingerprint else None
+
+    def matches(
+        self,
+        dcs: Sequence[DenialConstraint],
+        relation_groups: Sequence[tuple],
+        database: Database,
+    ) -> bool:
+        """Whether restoring into the given session shape is bit-safe."""
+        return self.verify(dcs, relation_groups, database) is not None
+
+
+#: The only classes a snapshot payload may reference.  Restricting the
+#: unpickler to this table turns a hostile or foreign snapshot file into a
+#: :class:`SnapshotError` (→ cold-build fallback) instead of the arbitrary
+#: code execution a plain ``pickle.loads`` would hand it.  Databases whose
+#: values are custom objects produce snapshots this loader rejects — that
+#: degrades to a cold build, which is always safe.
+_ALLOWED_CLASSES = {
+    ("builtins", "frozenset"),
+    ("builtins", "set"),
+    ("repro.session.snapshot", "DatabaseFingerprint"),
+    ("repro.session.snapshot", "SessionSnapshot"),
+    ("repro.session.snapshot", "ShardedSessionSnapshot"),
+    ("repro.relational.database", "Fact"),
+}
+
+
+class _SnapshotUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):
+        if (module, name) not in _ALLOWED_CLASSES:
+            raise SnapshotError(
+                f"snapshot references disallowed type {module}.{name}"
+            )
+        return super().find_class(module, name)
+
+
+def dump_snapshot(snapshot) -> bytes:
+    """Serialize a snapshot to versioned bytes (magic + version + pickle)."""
+    return _MAGIC + pickle.dumps(
+        (SNAPSHOT_VERSION, snapshot), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def load_snapshot_bytes(payload: bytes):
+    """Deserialize snapshot bytes, rejecting foreign or drifted formats.
+
+    The unpickler is restricted to the snapshot's own data types, so bytes
+    that merely carry the magic header cannot smuggle in executable
+    payloads — they raise :class:`SnapshotError` like any other corrupt
+    file, and every caller's fallback is the ordinary cold build.
+    """
+    if not payload.startswith(_MAGIC):
+        raise SnapshotError("not a repro session snapshot")
+    try:
+        version, snapshot = _SnapshotUnpickler(
+            io.BytesIO(payload[len(_MAGIC) :])
+        ).load()
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(f"corrupt snapshot payload: {error}") from error
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {version} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    return snapshot
+
+
+def save_snapshot(snapshot, path) -> Path:
+    """Write a snapshot to *path*; returns the path."""
+    path = Path(path)
+    path.write_bytes(dump_snapshot(snapshot))
+    return path
+
+
+def load_snapshot(path):
+    """Read a snapshot from *path* (raises :class:`SnapshotError`)."""
+    return load_snapshot_bytes(Path(path).read_bytes())

@@ -84,6 +84,31 @@ class WitnessStore:
             self._ordered = [violation for _, violation in self._pairs]
         return self._ordered
 
+    def capture(self) -> list[tuple[int, ...]]:
+        """The maintained sorted key view, as plain data (snapshot payload)."""
+        return [key for key, _ in self._pairs]
+
+    @classmethod
+    def restore(
+        cls, dc: DenialConstraint, keys: Iterable[tuple[int, ...]]
+    ) -> "WitnessStore":
+        """Rebuild a store from a :meth:`capture` payload — O(witnesses).
+
+        *keys* must already be in sorted key order (capture emits them that
+        way), so the pair list is filled by append instead of bisect and no
+        witness enumeration runs at all — the warm-start restore path.
+        """
+        store = cls(dc)
+        for key in keys:
+            key = tuple(key)
+            witness = frozenset(key)
+            violation = MinimalViolation(witness, dc)
+            store._violations[witness] = violation
+            store._keys[witness] = key
+            store._pairs.append((key, violation))
+        store._ordered = None
+        return store
+
 
 def equality_columns(dcs: Sequence[DenialConstraint]) -> set[tuple[str, str]]:
     """The ``(relation, attribute)`` columns usable as hash-lookup keys.

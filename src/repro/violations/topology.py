@@ -249,6 +249,83 @@ class ComponentTopology:
         return component._cache_key
 
     # ------------------------------------------------------------------
+    # Snapshot capture / restore (warm starts)
+    # ------------------------------------------------------------------
+    def capture(self) -> dict:
+        """The maintained state as plain data — the warm-start payload.
+
+        Witnesses become sorted id tuples, components keep their ``mi_pairs``
+        order (already globally consistent: ``_minimize`` emits key order and
+        the split preserves it), and the dominator oracle and tag table are
+        captured verbatim.  Entry lists are sorted so equal topologies
+        produce byte-equal payloads regardless of dict insertion history.
+        """
+        return {
+            "generation": self.generation,
+            "tags": sorted(
+                (tuple(sorted(witness)), tuple(sorted(positions)))
+                for witness, positions in self._tags.items()
+            ),
+            "dominator": sorted(
+                (tuple(sorted(witness)), tuple(sorted(ruler)))
+                for witness, ruler in self._dominator.items()
+            ),
+            "components": [
+                {
+                    "mi": [tuple(sorted(w)) for _, w in component.mi_pairs],
+                    "raw": sorted(
+                        tuple(sorted(w)) for w in component.raw
+                    ),
+                }
+                for component in self.components()
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        dcs: Sequence[DenialConstraint],
+        database: Database,
+        payload: dict,
+    ) -> "ComponentTopology":
+        """Rebuild a topology from a :meth:`capture` payload.
+
+        O(state) — no minimization, no union-find, no witness enumeration.
+        The caller is responsible for having verified the database
+        fingerprint first; the rebuilt object is bit-identical (components,
+        orders, generation, oracle) to the captured one.
+        """
+        topology = cls(dcs, database)
+        topology.generation = payload["generation"]
+        for ids, positions in payload["tags"]:
+            witness = frozenset(ids)
+            topology._tags[witness] = set(positions)
+            for fact in witness:
+                topology._binding.setdefault(fact, set()).add(witness)
+        for ids, ruler in payload["dominator"]:
+            topology._dominator[frozenset(ids)] = frozenset(ruler)
+        for entry in payload["components"]:
+            component = TopologyComponent()
+            mi = [frozenset(ids) for ids in entry["mi"]]
+            component.index.mi_sets = mi
+            component.mi_pairs = [(mi_sort_key(w), w) for w in mi]
+            facts: set[int] = set()
+            for witness in mi:
+                facts |= witness
+            component.facts = facts
+            component.minimum = min(facts)
+            component.raw = {frozenset(ids) for ids in entry["raw"]}
+            for fact in facts:
+                topology._component_of[fact] = component
+            topology._components.add(component)
+        topology._ordered = None
+        topology._mi_pairs = None
+        topology._mi_cache = None
+        topology._pseudo = None
+        topology._indexes = None
+        return topology
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def apply(

@@ -1,0 +1,340 @@
+"""Warm-start snapshots: round-trip bit-identity and fallback semantics.
+
+The anchor invariant is differential, in the style of the sharded
+conformance suite: a session restored from a snapshot of state S must be
+**bit-identical** — ``index()`` content, ``measure_all`` floats,
+``speculate_batch`` scores — to a session built from scratch over S, and a
+snapshot that no longer matches the database or constraints must fall back
+to the cold build rather than restore anything (never a wrong answer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.measures import TABLE2_MEASURES, make_measure, make_measures
+from repro.relational import Database, Fact, Schema
+from repro.session import (
+    MeasurementSession,
+    ShardedMeasurementSession,
+    ShardedSessionSnapshot,
+    SnapshotError,
+    dump_snapshot,
+    load_snapshot,
+    load_snapshot_bytes,
+    make_session,
+    save_snapshot,
+)
+from repro.violations import build_violation_index
+
+from .test_sharding import (
+    _random_candidates,
+    _random_mutation,
+    _random_setup,
+)
+
+
+def _roundtrip(snapshot):
+    """Force every snapshot through the versioned byte format."""
+    return load_snapshot_bytes(dump_snapshot(snapshot))
+
+
+def _assert_sessions_identical(restored, control) -> None:
+    ri, ci = restored.index(), control.index()
+    assert ri.mi_sets == ci.mi_sets
+    assert [
+        (violation.fact_ids, violation.constraint.name)
+        for violation in ri.per_constraint
+    ] == [
+        (violation.fact_ids, violation.constraint.name)
+        for violation in ci.per_constraint
+    ]
+    assert [c.mi_sets for c in ri.components()] == [
+        c.mi_sets for c in ci.components()
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("case", [0, 1, 2])
+    def test_flat_round_trip_bit_identical(self, case, case_rng):
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [
+                Fact(
+                    rng.choice(relations),
+                    (rng.randint(0, 4), rng.choice("xyz"), rng.randint(0, 8)),
+                )
+                for _ in range(20)
+            ],
+        )
+        measures = make_measures(TABLE2_MEASURES)
+        with MeasurementSession(constraints, database) as session:
+            for _ in range(10):
+                _random_mutation(rng, database, relations)
+            session.measure_all(measures)
+            snap = _roundtrip(session.snapshot())
+            # Post-snapshot speculation (apply + rollback) must not leak
+            # into the captured state or the restored session.
+            candidates = _random_candidates(rng, database, relations, 3)
+            session.speculate_batch(candidates, measures)
+        with MeasurementSession(
+            constraints, database, warm_start=snap
+        ) as restored, MeasurementSession(constraints, database) as control:
+            assert restored.warm_started
+            _assert_sessions_identical(restored, control)
+            assert restored.measure_all(measures) == control.measure_all(
+                measures
+            )
+            candidates = _random_candidates(rng, database, relations, 4)
+            assert restored.speculate_batch(
+                candidates, measures
+            ) == control.speculate_batch(candidates, measures)
+            # And the maintained state stays in lockstep under new deltas.
+            for _ in range(5):
+                _random_mutation(rng, database, relations)
+                assert restored.measure_all(measures) == control.measure_all(
+                    measures
+                )
+                _assert_sessions_identical(restored, control)
+
+    @pytest.mark.parametrize("case", [0, 1])
+    def test_sharded_round_trip_bit_identical(self, case, case_rng):
+        rng = case_rng
+        schema, constraints = _random_setup(rng)
+        relations = schema.relation_names()
+        database = Database.from_facts(
+            schema,
+            [
+                Fact(
+                    rng.choice(relations),
+                    (rng.randint(0, 4), rng.choice("xyz"), rng.randint(0, 8)),
+                )
+                for _ in range(20)
+            ],
+        )
+        measures = make_measures(TABLE2_MEASURES)
+        with ShardedMeasurementSession(constraints, database) as session:
+            for _ in range(8):
+                _random_mutation(rng, database, relations)
+            session.measure_all(measures)
+            snap = _roundtrip(session.snapshot())
+        with ShardedMeasurementSession(
+            constraints, database, warm_start=snap
+        ) as restored, MeasurementSession(constraints, database) as control:
+            assert restored.warm_started
+            _assert_sessions_identical(restored, control)
+            assert restored.measure_all(measures) == control.measure_all(
+                measures
+            )
+            candidates = _random_candidates(rng, database, relations, 4)
+            assert restored.speculate_batch(
+                candidates, measures
+            ) == control.speculate_batch(candidates, measures)
+
+    def test_disk_round_trip(self, tmp_path, simple_schema):
+        database = Database.from_rows(
+            simple_schema, "R", [(1, "x", 5), (1, "y", 5), (2, "x", 1)]
+        )
+        constraints = [FunctionalDependency("R", {"A"}, {"B"})]
+        path = tmp_path / "state.snap"
+        with MeasurementSession(constraints, database) as session:
+            session.measure_all(make_measures(("I_MI", "I_R")))
+            save_snapshot(session.snapshot(), path)
+        with MeasurementSession(
+            constraints, database, warm_start=load_snapshot(path)
+        ) as restored:
+            assert restored.warm_started
+            full = build_violation_index(constraints, database)
+            assert restored.index().mi_sets == full.mi_sets
+
+    def test_warm_cache_entries_adopted(self, simple_schema):
+        database = Database.from_rows(
+            simple_schema,
+            "R",
+            [(1, "x", 5), (1, "y", 5), (2, "x", 1), (2, "z", 1), (7, "q", 0)],
+        )
+        constraints = [FunctionalDependency("R", {"A"}, {"B"})]
+        with MeasurementSession(constraints, database) as session:
+            session.measure_all(make_measures(TABLE2_MEASURES))
+            snap = _roundtrip(session.snapshot())
+        with MeasurementSession(
+            constraints, database, warm_start=snap
+        ) as restored:
+            # Fresh measure instances — the cross-process case: every live
+            # component's value must come from the snapshot, not a solver.
+            restored.measure_all(make_measures(TABLE2_MEASURES))
+            assert restored.component_cache.misses == 0
+            assert restored.component_cache.hits > 0
+
+
+class TestFallback:
+    def _setup(self, schema):
+        database = Database.from_rows(
+            schema, "R", [(1, "x", 5), (1, "y", 5), (2, "x", 1)]
+        )
+        constraints = [FunctionalDependency("R", {"A"}, {"B"})]
+        return database, constraints
+
+    def test_stale_fingerprint_falls_back(self, simple_schema):
+        database, constraints = self._setup(simple_schema)
+        with MeasurementSession(constraints, database) as session:
+            snap = _roundtrip(session.snapshot())
+        database.update(0, "B", "z")  # committed change: snapshot is stale
+        with MeasurementSession(
+            constraints, database, warm_start=snap
+        ) as restored:
+            assert not restored.warm_started
+            full = build_violation_index(constraints, database)
+            assert restored.index().mi_sets == full.mi_sets
+
+    def test_allocator_drift_falls_back(self, simple_schema):
+        database, constraints = self._setup(simple_schema)
+        with MeasurementSession(constraints, database) as session:
+            snap = _roundtrip(session.snapshot())
+        # Same facts, different allocator state (delete rewinds the
+        # allocator, restore does not advance it back): the snapshot must
+        # not restore against a drifted allocator.
+        fact = database[0]
+        database.delete(0)
+        database.restore(0, fact)
+        assert database._next_id != snap.fingerprint.next_id
+        with MeasurementSession(
+            constraints, database, warm_start=snap
+        ) as restored:
+            assert not restored.warm_started
+
+    def test_changed_constraints_fall_back(self, simple_schema):
+        database, constraints = self._setup(simple_schema)
+        with MeasurementSession(constraints, database) as session:
+            snap = _roundtrip(session.snapshot())
+        other = [FunctionalDependency("R", {"A"}, {"C"})]
+        with MeasurementSession(other, database, warm_start=snap) as restored:
+            assert not restored.warm_started
+            full = build_violation_index(other, database)
+            assert restored.index().mi_sets == full.mi_sets
+
+    def test_malformed_fields_fall_back_not_crash(self, simple_schema):
+        """A snapshot that deserialized but carries bogus fields (bit rot,
+        a hand-crafted file) must cold-build, not raise."""
+        database, constraints = self._setup(simple_schema)
+        with MeasurementSession(constraints, database) as session:
+            good = session.snapshot()
+        bad_fingerprint = _roundtrip(good)
+        bad_fingerprint.fingerprint = frozenset()
+        bad_topology = _roundtrip(good)
+        bad_topology.topology = {}
+        bad_stores = _roundtrip(good)
+        bad_stores.stores = [object()]
+        for snap in (bad_fingerprint, bad_topology, bad_stores):
+            with MeasurementSession(
+                constraints, database, warm_start=snap
+            ) as restored:
+                assert not restored.warm_started
+                full = build_violation_index(constraints, database)
+                assert restored.index().mi_sets == full.mi_sets
+        sharded_bad = ShardedSessionSnapshot(
+            version=1,
+            fingerprint=frozenset(),
+            constraints=(),
+            relation_groups=[],
+            shards=[],
+        )
+        with ShardedMeasurementSession(
+            constraints, database, warm_start=sharded_bad
+        ) as restored:
+            assert not restored.warm_started
+
+    def test_version_drift_falls_back(self, simple_schema):
+        database, constraints = self._setup(simple_schema)
+        with MeasurementSession(constraints, database) as session:
+            snap = session.snapshot()
+        snap.version = 999
+        with MeasurementSession(
+            constraints, database, warm_start=snap
+        ) as restored:
+            assert not restored.warm_started
+
+    def test_foreign_bytes_rejected(self, tmp_path):
+        path = tmp_path / "not-a-snapshot"
+        path.write_bytes(b"something else entirely")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+        with pytest.raises(SnapshotError):
+            load_snapshot_bytes(b"REPRO-SNAPSHOT\ngarbage after the magic")
+
+    def test_hostile_pickle_rejected_not_executed(self, tmp_path):
+        """The loader must not be an arbitrary-code-execution vector: a
+        pickle smuggling a callable behind the magic header raises
+        SnapshotError before anything runs."""
+        import pickle
+
+        flag = tmp_path / "pwned"
+
+        class Evil:
+            def __reduce__(self):
+                return (flag.write_text, ("executed",))
+
+        hostile = b"REPRO-SNAPSHOT\n" + pickle.dumps((1, Evil()))
+        with pytest.raises(SnapshotError):
+            load_snapshot_bytes(hostile)
+        assert not flag.exists()
+
+    def test_sharded_partition_mismatch_falls_back(self):
+        schema = Schema.from_dict(
+            {"T0": ["A", "B", "C"], "T1": ["A", "B", "C"]}
+        )
+        database = Database.from_facts(
+            schema,
+            [
+                Fact("T0", (1, "x", 0)),
+                Fact("T0", (1, "y", 0)),
+                Fact("T1", (2, "x", 0)),
+                Fact("T1", (2, "y", 0)),
+            ],
+        )
+        constraints = [
+            FunctionalDependency(relation, {"A"}, {"B"})
+            for relation in ("T0", "T1")
+        ]
+        with ShardedMeasurementSession(constraints, database) as session:
+            assert session.relation_groups == [("T0",), ("T1",)]
+            snap = _roundtrip(session.snapshot())
+        # A coarser (still valid) explicit partition: the per-shard
+        # payloads describe the wrong slices, so the restore must reject.
+        with ShardedMeasurementSession(
+            constraints, database, shards=[("T0", "T1")], warm_start=snap
+        ) as restored:
+            assert not restored.warm_started
+            full = build_violation_index(constraints, database)
+            assert restored.index().mi_sets == full.mi_sets
+
+    def test_cross_flavor_snapshots_fall_back(self):
+        schema = Schema.from_dict(
+            {"T0": ["A", "B", "C"], "T1": ["A", "B", "C"]}
+        )
+        database = Database.from_facts(
+            schema,
+            [Fact("T0", (1, "x", 0)), Fact("T0", (1, "y", 0))],
+        )
+        constraints = [
+            FunctionalDependency(relation, {"A"}, {"B"})
+            for relation in ("T0", "T1")
+        ]
+        with MeasurementSession(constraints, database) as flat:
+            flat_snap = _roundtrip(flat.snapshot())
+        with ShardedMeasurementSession(constraints, database) as sharded:
+            sharded_snap = _roundtrip(sharded.snapshot())
+        with make_session(
+            constraints, database, shards="auto", warm_start=flat_snap
+        ) as session:
+            assert not session.warm_started
+            assert session.measure(make_measure("I_MI")) == 1.0
+        with make_session(
+            constraints, database, warm_start=sharded_snap
+        ) as session:
+            assert not session.warm_started
+            assert session.measure(make_measure("I_MI")) == 1.0

@@ -414,3 +414,42 @@ class TestComponentLocalizedDelta:
         assert affected_components(index, {2, 3}) == [1]
         assert affected_components(index, {0, 3}) == [0, 1]
         assert affected_components(index, {99}) == []
+
+
+class TestMixedMeasureSplit:
+    def test_flat_mixed_list_keeps_component_fast_path(
+        self, schema, monkeypatch
+    ):
+        """The flat session splits mixed lists too — only ``I_d`` and
+        friends pay the generic whole-database pass."""
+        import repro.session.session as session_module
+
+        database = Database.from_rows(
+            schema, "R", [(1, "x", 0), (1, "y", 0), (2, "x", 0), (2, "z", 0)]
+        )
+        constraints = _constraint_suites()["binary"]
+        mixed = [make_measure(name) for name in ("I_MI", "I_d", "I_R")]
+        generic_lists: list[list[str]] = []
+        original = session_module._generic_values
+
+        def spy(session, measures):
+            generic_lists.append([measure.name for measure in measures])
+            return original(session, measures)
+
+        monkeypatch.setattr(session_module, "_generic_values", spy)
+        with MeasurementSession(constraints, database) as session:
+            values = session.speculate([DeleteOperation(0)], mixed)
+            batch = session.speculate_batch(
+                [[DeleteOperation(0)], [DeleteOperation(2)]], mixed
+            )
+        assert generic_lists and all(
+            names == ["I_d"] for names in generic_lists
+        ), generic_lists
+        reference = {
+            measure.name: measure.value(
+                constraints, apply_sequence(database, [DeleteOperation(0)])
+            )
+            for measure in mixed
+        }
+        assert values == reference
+        assert batch[0] == reference

@@ -79,3 +79,89 @@ class TestCli:
         assert code == 0
         assert "Shapley blame" in text
         assert "blame=0.500" in text
+
+    def test_warm_start_round_trip(self, csv_file, tmp_path):
+        snap = tmp_path / "state.snap"
+        argv = [
+            str(csv_file),
+            "--relation",
+            "R",
+            "--fd",
+            "R: Name -> Country",
+            "--warm-start",
+            str(snap),
+        ]
+        code, cold_text = invoke(argv)
+        assert code == 0
+        assert "warm start: cold build" in cold_text
+        assert snap.exists()
+        code, warm_text = invoke(argv)
+        assert code == 0
+        assert "warm start: restored" in warm_text
+        # Identical measurements either way (modulo the warm-start line).
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if not line.startswith("warm start:")
+        ]
+        assert strip(warm_text) == strip(cold_text)
+
+    def test_warm_start_stale_data_rebuilds_cold(self, csv_file, tmp_path):
+        snap = tmp_path / "state.snap"
+        argv = [
+            str(csv_file),
+            "--relation",
+            "R",
+            "--fd",
+            "R: Name -> Country",
+            "--warm-start",
+            str(snap),
+        ]
+        invoke(argv)
+        csv_file.write_text(
+            "Name,Country\nParis,FR\nParis,DE\nLyon,FR\nLyon,DE\n",
+            encoding="utf-8",
+        )
+        code, text = invoke(argv)
+        assert code == 0
+        assert "warm start: cold build" in text
+        assert "minimal inconsistent subsets: 2" in text
+
+    def test_warm_start_corrupt_file_rebuilds_cold(self, csv_file, tmp_path):
+        snap = tmp_path / "state.snap"
+        snap.write_bytes(b"junk that is not a snapshot")
+        code, text = invoke(
+            [
+                str(csv_file),
+                "--relation",
+                "R",
+                "--fd",
+                "R: Name -> Country",
+                "--warm-start",
+                str(snap),
+            ]
+        )
+        assert code == 0
+        assert "warm start: cold build" in text
+        assert "I_MI = 1.0" in text
+
+    def test_warm_start_unreadable_path_rebuilds_cold(
+        self, csv_file, tmp_path
+    ):
+        snap_dir = tmp_path / "a-directory"
+        snap_dir.mkdir()
+        code, text = invoke(
+            [
+                str(csv_file),
+                "--relation",
+                "R",
+                "--fd",
+                "R: Name -> Country",
+                "--warm-start",
+                str(snap_dir),
+            ]
+        )
+        assert code == 0
+        assert "warm start: cold build" in text
+        assert "warm start: could not save state" in text
+        assert "I_MI = 1.0" in text

@@ -57,3 +57,10 @@ def test_cleaning_case_study():
 def test_action_prioritization():
     output = run_example("action_prioritization.py")
     assert "Shapley blame" in output
+
+
+@pytest.mark.slow
+def test_warm_start_sweep():
+    output = run_example("warm_start_sweep.py")
+    assert "warm start restored: True" in output
+    assert "series identical" in output
