@@ -30,8 +30,25 @@ component topology, live cache entries) behind a database fingerprint, and
 ``ShardedMeasurementSession(..., warm_start=snap)`` restore it in O(state)
 — falling back to the ordinary cold build on any mismatch, so a warm start
 is never a wrong answer (:mod:`repro.session.snapshot`).
+
+Witness enumeration itself is a pluggable per-DC strategy
+(:mod:`repro.session.enumeration`): the tuple-at-a-time probe reference or
+the set-based batch-join backend, selected with ``engine="probe" | "batch"
+| "auto"`` on any session constructor and :func:`make_session` —
+bit-identical witness sets either way, with per-DC counters through
+``session.stats()``.
 """
 
+from .columnar import ColumnStore, RelationColumns
+from .enumeration import (
+    ENGINES,
+    BatchEnumerator,
+    EnumerationStats,
+    ProbeEnumerator,
+    WitnessEnumerator,
+    batch_compilable,
+    build_enumerators,
+)
 from .session import MeasurementSession
 from .sharding import (
     ShardedMeasurementSession,
@@ -58,15 +75,24 @@ from .witnesses import (
 )
 
 __all__ = [
+    "BatchEnumerator",
+    "ColumnStore",
     "DatabaseFingerprint",
+    "ENGINES",
+    "EnumerationStats",
     "EqualityColumnIndex",
     "MeasurementSession",
+    "ProbeEnumerator",
+    "RelationColumns",
     "SNAPSHOT_VERSION",
     "SessionSnapshot",
     "ShardedMeasurementSession",
     "ShardedSessionSnapshot",
     "SnapshotError",
+    "WitnessEnumerator",
     "WitnessStore",
+    "batch_compilable",
+    "build_enumerators",
     "database_fingerprint",
     "delta_witnesses",
     "dump_snapshot",

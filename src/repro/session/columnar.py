@@ -1,0 +1,205 @@
+"""Maintained columnar snapshots of the relations the batch enumerator joins.
+
+The set-based enumeration backend (:mod:`repro.session.enumeration`) runs
+its compiled batch join plans over per-relation **column arrays** instead of
+per-tuple ``Fact`` probes: one parallel list per attribute, one list of fact
+identifiers, and grouped hash indexes ``value → row set`` for the columns
+the DCs join on.  Filters and join-key computations then reduce to list
+indexing in tight comprehensions — no ``Fact`` attribute resolution, no
+signature lookups, no per-tuple dict churn.
+
+The store is **maintained**, not rebuilt: the owning session feeds it the
+same :class:`~repro.relational.database.ChangeEvent` stream that drives the
+equality-column index, so every enumeration (cold or delta, committed or
+inside a speculation savepoint) sees current state at O(1) amortized cost
+per mutation.  Deleted rows are tombstoned (identifier slot set to ``None``)
+and recycled through a free list, which keeps **row indices stable** — the
+grouped key indexes and any compiled plan state refer to rows by position
+and never need renumbering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..relational.database import ChangeEvent, Database, Fact
+from ..relational.schema import Schema
+
+_NO_ROWS: frozenset[int] = frozenset()
+
+
+class RelationColumns:
+    """One relation's columnar image: id array + per-attribute value arrays."""
+
+    __slots__ = ("relation", "attributes", "ids", "columns", "row_of", "free")
+
+    def __init__(self, relation: str, attributes: Sequence[str]) -> None:
+        self.relation = relation
+        self.attributes = tuple(attributes)
+        #: Fact identifier per row; ``None`` marks a tombstoned (dead) row.
+        self.ids: list[int | None] = []
+        self.columns: dict[str, list] = {attribute: [] for attribute in attributes}
+        self.row_of: dict[int, int] = {}
+        self.free: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.row_of)
+
+    def live_rows(self) -> list[int]:
+        """Indices of all live rows (scan seed of a cold enumeration)."""
+        ids = self.ids
+        return [row for row in range(len(ids)) if ids[row] is not None]
+
+    def rows_for_ids(self, identifiers: Iterable[int]) -> list[int]:
+        """Row indices of *identifiers*; absent identifiers are skipped."""
+        row_of = self.row_of
+        return [row_of[i] for i in identifiers if i in row_of]
+
+
+class ColumnStore:
+    """Columnar snapshots for a registered set of relations, kept live.
+
+    Only the relations and attributes some batch-compiled DC actually reads
+    are registered (:meth:`register`); grouped hash indexes are kept for the
+    columns registered as join keys (:meth:`register_key`).  Registration
+    happens before :meth:`build`; afterwards :meth:`apply` maintains
+    everything under the change feed.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._relations: dict[str, RelationColumns] = {}
+        #: (relation, attribute) → value → set of live row indices.
+        self._groups: dict[tuple[str, str], dict[object, set[int]]] = {}
+        #: Per relation: [(attribute, positional index)] of grouped columns.
+        self._keys_by_relation: dict[str, list[tuple[str, int]]] = {}
+        #: Per relation: [(attribute, positional index)] of stored columns,
+        #: memoized once registration settles (first _add recomputes).
+        self._positions: dict[str, list[tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (before build)
+    # ------------------------------------------------------------------
+    def register(self, relation: str, attributes: Iterable[str]) -> None:
+        """Ensure columns exist for *attributes* of *relation*.
+
+        Idempotent; the union of all registrations for a relation must be
+        made before :meth:`build` (late registrations would start empty).
+        """
+        existing = self._relations.get(relation)
+        if existing is None:
+            signature = self.schema.signature(relation)
+            wanted = set(attributes)
+            ordered = [a for a in signature.attributes if a in wanted]
+            self._relations[relation] = RelationColumns(relation, ordered)
+            return
+        missing = set(attributes) - set(existing.attributes)
+        if missing:
+            if len(existing) or existing.ids:
+                raise RuntimeError(
+                    f"late column registration on non-empty relation "
+                    f"{relation!r}: {sorted(missing)}"
+                )
+            signature = self.schema.signature(relation)
+            wanted = set(existing.attributes) | missing
+            existing.attributes = tuple(
+                a for a in signature.attributes if a in wanted
+            )
+            for attribute in missing:
+                existing.columns[attribute] = []
+
+    def register_key(self, relation: str, attribute: str) -> None:
+        """Maintain a grouped hash index ``value → rows`` for the column."""
+        self.register(relation, (attribute,))
+        key = (relation, attribute)
+        if key in self._groups:
+            return
+        self._groups[key] = {}
+        signature = self.schema.signature(relation)
+        self._keys_by_relation.setdefault(relation, []).append(
+            (attribute, signature.index_of(attribute))
+        )
+
+    # ------------------------------------------------------------------
+    # Build + maintenance
+    # ------------------------------------------------------------------
+    def build(self, database: Database) -> None:
+        """Populate the registered relations from *database* (cold start)."""
+        for identifier, fact in database.items():
+            if fact.relation in self._relations:
+                self._add(identifier, fact)
+
+    def apply(self, event: ChangeEvent) -> None:
+        """Maintain the store after one committed database mutation."""
+        old, new = event.old, event.new
+        if old is not None and old.relation in self._relations:
+            self._remove(event.identifier, old)
+        if new is not None and new.relation in self._relations:
+            self._add(event.identifier, new)
+
+    # ------------------------------------------------------------------
+    # Read surface (the compiled plans' working set)
+    # ------------------------------------------------------------------
+    def relation(self, relation: str) -> RelationColumns:
+        return self._relations[relation]
+
+    def column(self, relation: str, attribute: str) -> list:
+        """The value array of one column (parallel to the relation's rows)."""
+        return self._relations[relation].columns[attribute]
+
+    def ids(self, relation: str) -> list[int | None]:
+        """The identifier array (``None`` in tombstoned slots)."""
+        return self._relations[relation].ids
+
+    def group(self, relation: str, attribute: str) -> dict[object, set[int]]:
+        """The grouped hash index of a registered key column."""
+        return self._groups[(relation, attribute)]
+
+    def has_relation(self, relation: str) -> bool:
+        return relation in self._relations
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _add(self, identifier: int, fact: Fact) -> None:
+        table = self._relations[fact.relation]
+        positions = self._positions.get(fact.relation)
+        if positions is None or len(positions) != len(table.attributes):
+            signature = self.schema.signature(fact.relation)
+            positions = [
+                (attribute, signature.index_of(attribute))
+                for attribute in table.attributes
+            ]
+            self._positions[fact.relation] = positions
+        values = fact.values
+        columns = table.columns
+        if table.free:
+            row = table.free.pop()
+            table.ids[row] = identifier
+            for attribute, position in positions:
+                columns[attribute][row] = values[position]
+        else:
+            row = len(table.ids)
+            table.ids.append(identifier)
+            for attribute, position in positions:
+                columns[attribute].append(values[position])
+        table.row_of[identifier] = row
+        for attribute, position in self._keys_by_relation.get(fact.relation, ()):
+            self._groups[(fact.relation, attribute)].setdefault(
+                values[position], set()
+            ).add(row)
+
+    def _remove(self, identifier: int, fact: Fact) -> None:
+        table = self._relations[fact.relation]
+        row = table.row_of.pop(identifier, None)
+        if row is None:
+            return
+        for attribute, position in self._keys_by_relation.get(fact.relation, ()):
+            buckets = self._groups[(fact.relation, attribute)]
+            bucket = buckets.get(fact.values[position])
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del buckets[fact.values[position]]
+        table.ids[row] = None
+        table.free.append(row)

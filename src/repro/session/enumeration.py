@@ -1,0 +1,807 @@
+"""Witness-enumeration backends: per-tuple probe vs. set-based batch joins.
+
+Every witness the session maintains — cold build and delta re-enumeration
+alike — used to be found by the tuple-at-a-time recursive probe in
+:mod:`repro.session.witnesses`.  This module makes the enumeration strategy
+pluggable per lowered DC:
+
+* :class:`ProbeEnumerator` wraps the existing probe paths unchanged (the
+  SQL-engine cold build for narrow DCs, the recursive hash-join probe for
+  deltas) — the reference implementation every other backend must match
+  bit-for-bit.
+* :class:`BatchEnumerator` compiles the DC **once** into vectorized batch
+  join plans and runs them over the session's maintained
+  :class:`~repro.session.columnar.ColumnStore`.  The plan's join order is
+  chosen from the DC's equality graph by the SQL planner
+  (:func:`~repro.sqlengine.planner.plan_query` with
+  ``reorder_equalities=True`` over :func:`~repro.violations.sqlgen.conflict_query`);
+  execution replaces per-tuple recursion with grouped hash joins over row
+  batches and bound predicates applied as filters over candidate batches.
+  The same compiled plan family serves both entry points: the **cold** plan
+  is seeded with a full relation scan, and one **delta** plan per tuple
+  variable is seeded with the dirty-id batch pinned to that variable's
+  relation — a single set-based pass per pin instead of a recursion per
+  dirty fact.
+
+Strategy selection (:func:`build_enumerators`) takes ``engine="probe" |
+"batch" | "auto"``: ``auto`` picks the batch backend exactly for the DCs
+whose equality-join graph connects all tuple variables
+(:func:`batch_compilable`) and falls back to the probe for the rest;
+``batch`` demands compilability and raises otherwise.  Whatever the
+backend, the returned witness sets are required to be identical — the
+randomized cold + delta-stream suite in ``tests/session/test_setbased.py``
+pins batch == probe, and the probe is itself pinned to from-scratch builds
+by the original session suites.
+
+Each enumerator carries an :class:`EnumerationStats` record (plans
+compiled, batches joined, candidate rows scanned, witnesses emitted),
+surfaced per DC through ``session.stats()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..constraints.base import ComparisonOp
+from ..constraints.dc import DenialConstraint
+from ..relational.database import Database
+from ..relational.schema import Schema
+from ..relational.values import values_comparable
+from ..sqlengine.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Condition,
+    Literal,
+    Or,
+    SelectQuery,
+)
+from ..sqlengine.planner import JoinPlan, PlanNode, QueryPlan, ScanPlan, plan_query
+from ..violations.minimal import _witness_id_sets
+from ..violations.sqlgen import conflict_query, variable_aliases
+from .columnar import ColumnStore
+from .witnesses import EqualityColumnIndex, delta_witnesses
+
+ENGINES = ("probe", "batch", "auto")
+
+#: The executor's fact-identifier pseudo-column (see SqlEngine.ID_COLUMN).
+_ID = "ID"
+
+BatchFilter = Callable[[list], list]
+Witnesses = set[frozenset[int]]
+
+
+# ----------------------------------------------------------------------
+# Scalar comparison kernels — exact mirrors of ComparisonOp.evaluate
+# (EQ/NE are False on NULL, ordered ops require comparable values), but
+# resolved to plain functions once per compiled predicate.  Ordered ops
+# fast-path same-type non-NULL operands, which values_comparable always
+# accepts; only mixed types pay for its isinstance checks.
+# ----------------------------------------------------------------------
+def _eq(left, right) -> bool:
+    return left is not None and right is not None and left == right
+
+
+def _ne(left, right) -> bool:
+    return left is not None and right is not None and left != right
+
+
+def _lt(left, right) -> bool:
+    if type(left) is type(right):
+        return left is not None and left < right
+    return values_comparable(left, right) and left < right
+
+
+def _le(left, right) -> bool:
+    if type(left) is type(right):
+        return left is not None and left <= right
+    return values_comparable(left, right) and left <= right
+
+
+def _gt(left, right) -> bool:
+    if type(left) is type(right):
+        return left is not None and left > right
+    return values_comparable(left, right) and left > right
+
+
+def _ge(left, right) -> bool:
+    if type(left) is type(right):
+        return left is not None and left >= right
+    return values_comparable(left, right) and left >= right
+
+
+_COMPARE = {
+    ComparisonOp.EQ: _eq,
+    ComparisonOp.NE: _ne,
+    ComparisonOp.LT: _lt,
+    ComparisonOp.LE: _le,
+    ComparisonOp.GT: _gt,
+    ComparisonOp.GE: _ge,
+}
+
+
+class EnumerationStats:
+    """Per-DC enumeration counters, accumulated for the session's lifetime."""
+
+    __slots__ = (
+        "engine",
+        "plans_compiled",
+        "batches_joined",
+        "rows_scanned",
+        "witnesses_emitted",
+        "cold_runs",
+        "delta_runs",
+    )
+
+    def __init__(self, engine: str) -> None:
+        self.engine = engine
+        self.plans_compiled = 0
+        self.batches_joined = 0
+        self.rows_scanned = 0
+        self.witnesses_emitted = 0
+        self.cold_runs = 0
+        self.delta_runs = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "plans_compiled": self.plans_compiled,
+            "batches_joined": self.batches_joined,
+            "rows_scanned": self.rows_scanned,
+            "witnesses_emitted": self.witnesses_emitted,
+            "cold_runs": self.cold_runs,
+            "delta_runs": self.delta_runs,
+        }
+
+
+def batch_compilable(dc: DenialConstraint) -> bool:
+    """Whether the batch backend can serve *dc*.
+
+    True when the equality-join graph (tuple variables as nodes, cross
+    variable equality predicates as edges) connects every variable — then a
+    left-deep plan exists in which **every** join step carries a hash key,
+    whatever variable seeds it (connectivity is start-independent), so both
+    the cold plan and every per-pin delta plan avoid cross products.  Unary
+    DCs are trivially compilable (a scan plus vectorized filters).
+    """
+    if dc.width <= 1:
+        return True
+    edges: dict[str, set[str]] = {variable: set() for variable, _ in dc.variables}
+    for predicate in dc.equality_join_predicates():
+        left, right = predicate.left.variable, predicate.right.variable
+        edges[left].add(right)
+        edges[right].add(left)
+    start = dc.variables[0][0]
+    reached = {start}
+    frontier = [start]
+    while frontier:
+        for neighbor in edges[frontier.pop()]:
+            if neighbor not in reached:
+                reached.add(neighbor)
+                frontier.append(neighbor)
+    return len(reached) == dc.width
+
+
+def register_batch_columns(dc: DenialConstraint, store: ColumnStore) -> None:
+    """Register the columns and grouped join keys *dc*'s plans will read.
+
+    Every non-constant predicate term becomes a stored column; both sides
+    of every equality-join predicate become grouped key columns, because a
+    delta plan pinned on either variable probes the *other* side's group.
+    Relations bound by a variable no predicate mentions still get their
+    identifier array.
+    """
+    for variable, relation in dc.variables:
+        store.register(relation, ())
+    for predicate in dc.predicates:
+        for term in (predicate.left, predicate.right):
+            if not term.is_constant:
+                store.register(
+                    dc.relation_of(term.variable), (term.attribute,)
+                )
+        if predicate.is_equality_join():
+            store.register_key(
+                dc.relation_of(predicate.left.variable),
+                predicate.left.attribute,
+            )
+            store.register_key(
+                dc.relation_of(predicate.right.variable),
+                predicate.right.attribute,
+            )
+
+
+# ----------------------------------------------------------------------
+# Compiled batch plans
+# ----------------------------------------------------------------------
+class BatchPlan:
+    """One DC compiled for one seed variable: scan → grouped joins → filters.
+
+    ``run`` takes the seed row batch (full scan for the cold entry point,
+    the pinned dirty rows for the delta entry point) and returns the
+    witness fact-id sets, counting work into an :class:`EnumerationStats`.
+    """
+
+    __slots__ = (
+        "pin_variable",
+        "seed_relation",
+        "seed_filters",
+        "joins",
+        "final_filters",
+        "id_arrays",
+        "width",
+    )
+
+    def __init__(
+        self,
+        pin_variable: str,
+        seed_relation: str,
+        seed_filters: list[BatchFilter],
+        joins: list[tuple[Callable[[list], list], list[BatchFilter]]],
+        final_filters: list[BatchFilter],
+        id_arrays: list[list],
+    ) -> None:
+        self.pin_variable = pin_variable
+        self.seed_relation = seed_relation
+        self.seed_filters = seed_filters
+        self.joins = joins
+        self.final_filters = final_filters
+        self.id_arrays = id_arrays
+        self.width = len(id_arrays)
+
+    def run(self, seed_rows: Sequence[int], stats: EnumerationStats) -> Witnesses:
+        batch: list[tuple[int, ...]] = [(row,) for row in seed_rows]
+        stats.rows_scanned += len(batch)
+        for apply_filter in self.seed_filters:
+            batch = apply_filter(batch)
+            if not batch:
+                return set()
+        for join, filters in self.joins:
+            batch = join(batch)
+            stats.batches_joined += 1
+            stats.rows_scanned += len(batch)
+            if not batch:
+                return set()
+            for apply_filter in filters:
+                batch = apply_filter(batch)
+                if not batch:
+                    return set()
+        for apply_filter in self.final_filters:
+            batch = apply_filter(batch)
+            if not batch:
+                return set()
+        arrays = self.id_arrays
+        if self.width == 1:
+            ids0 = arrays[0]
+            return {frozenset((ids0[c[0]],)) for c in batch}
+        if self.width == 2:
+            ids0, ids1 = arrays
+            return {frozenset((ids0[c[0]], ids1[c[1]])) for c in batch}
+        return {
+            frozenset(array[row] for array, row in zip(arrays, candidate))
+            for candidate in batch
+        }
+
+
+class _PlanCompiler:
+    """Compiles one DC's conflict query into :class:`BatchPlan` objects."""
+
+    def __init__(
+        self, dc: DenialConstraint, schema: Schema, store: ColumnStore
+    ) -> None:
+        self.dc = dc
+        self.schema = schema
+        self.store = store
+        self.query = conflict_query(dc)
+        alias_of = variable_aliases(dc)
+        self.variable_of = {alias: variable for variable, alias in alias_of.items()}
+        self.relation_of = {
+            alias_of[variable]: relation for variable, relation in dc.variables
+        }
+
+    def compile_pin(self, pin_index: int) -> BatchPlan:
+        """The plan seeded on tuple variable number *pin_index*."""
+        tables = self.query.tables
+        rotated = SelectQuery(
+            select=self.query.select,
+            distinct=self.query.distinct,
+            tables=tables[pin_index:] + tables[:pin_index],
+            where=self.query.where,
+            select_star=self.query.select_star,
+        )
+        plan = plan_query(rotated, reorder_equalities=True)
+        return self._compile(plan)
+
+    # -- plan-tree compilation ------------------------------------------
+    def _compile(self, plan: QueryPlan) -> BatchPlan:
+        seed_scan, join_steps = _linearize(plan.root)
+        slot_of: dict[str, int] = {seed_scan.table.alias: 0}
+        for step in join_steps:
+            slot_of[step.right.table.alias] = len(slot_of)
+        self._slot_of = slot_of
+        seed_filters = [
+            self._compile_filter(condition) for condition in seed_scan.filters
+        ]
+        joins: list[tuple[Callable[[list], list], list[BatchFilter]]] = []
+        for step in join_steps:
+            if not step.equi_keys:
+                raise ValueError(
+                    f"DC {self.dc.name!r} compiled to a keyless join step; "
+                    "use batch_compilable() before selecting the batch engine"
+                )
+            conditions = list(step.right.filters) + list(step.residual)
+            # Fuse pairwise predicates into the join: candidates failing
+            # them are filtered during group expansion and never
+            # materialized as tuples.  Whatever can't fuse stays a batch
+            # filter over the join's output.
+            fused, unfused = [], []
+            for condition in conditions:
+                pairwise = self._fusable(condition, step.right.table.alias)
+                (fused if pairwise is not None else unfused).append(
+                    pairwise if pairwise is not None else condition
+                )
+            join = self._compile_join(step, fused)
+            filters = [self._compile_filter(condition) for condition in unfused]
+            joins.append((join, filters))
+        final_filters = [
+            self._compile_filter(condition) for condition in plan.final_residual
+        ]
+        # Slot order == join order; witnesses project each slot's fact id.
+        aliases_in_order = sorted(slot_of, key=slot_of.__getitem__)
+        id_arrays = [
+            self.store.ids(self.relation_of[alias]) for alias in aliases_in_order
+        ]
+        return BatchPlan(
+            pin_variable=self.variable_of[seed_scan.table.alias],
+            seed_relation=seed_scan.table.relation,
+            seed_filters=seed_filters,
+            joins=joins,
+            final_filters=final_filters,
+            id_arrays=id_arrays,
+        )
+
+    def _fusable(self, condition: Condition, new_alias: str):
+        """Spec for a predicate fusable into the join expanding *new_alias*.
+
+        Fusable means a Comparison with exactly one operand on the new
+        alias and the other a bound slot's column or a constant — then the
+        check runs per expanded row, before any candidate tuple exists.
+        Returns ``(compare, new_array, other_array, other, new_on_left)``
+        (``other_array is None`` ⇒ ``other`` is the constant), or None.
+        """
+        if not isinstance(condition, Comparison):
+            return None
+
+        def classify(operand):
+            if isinstance(operand, Literal):
+                return ("const", None, operand.value)
+            if operand.table == new_alias:
+                relation = self.relation_of[new_alias]
+                array = (
+                    self.store.ids(relation)
+                    if operand.column == _ID
+                    else self.store.column(relation, operand.column)
+                )
+                return ("new", array, None)
+            array, slot = self._operand(operand)
+            return ("slot", array, slot)
+
+        left = classify(condition.left)
+        right = classify(condition.right)
+        if (left[0] == "new") == (right[0] == "new"):
+            return None
+        new_side, other_side = (left, right) if left[0] == "new" else (right, left)
+        return (
+            _COMPARE[condition.op],
+            new_side[1],
+            other_side[1],
+            other_side[2],
+            left[0] == "new",
+        )
+
+    def _compile_join(self, step: JoinPlan, fused: list) -> Callable[[list], list]:
+        """A grouped hash join: probe the new slot's key groups per batch row.
+
+        *fused* predicates (see :meth:`_fusable`) trim each probed group
+        before the surviving rows are appended as candidate tuples.
+        """
+        new_alias = step.right.table.alias
+        new_relation = step.right.table.relation
+        keys = []
+        for left_ref, right_ref in step.equi_keys:
+            build_ref, probe_ref = left_ref, right_ref
+            if build_ref.table == new_alias:
+                build_ref, probe_ref = probe_ref, build_ref
+            array, slot = self._operand(build_ref)
+            group = self.store.group(new_relation, probe_ref.column)
+            keys.append((array, slot, group))
+        fused = tuple(fused)
+        if len(keys) == 1:
+            array, slot, group = keys[0]
+
+            if not fused:
+
+                def join_single(batch, array=array, slot=slot, group=group):
+                    out: list[tuple[int, ...]] = []
+                    extend = out.extend
+                    lookup = group.get
+                    for candidate in batch:
+                        value = array[candidate[slot]]
+                        if value is None:
+                            continue  # NULL never joins
+                        rows = lookup(value)
+                        if rows:
+                            extend([candidate + (row,) for row in rows])
+                    return out
+
+                return join_single
+
+            def join_single_fused(
+                batch, array=array, slot=slot, group=group, fused=fused
+            ):
+                out: list[tuple[int, ...]] = []
+                extend = out.extend
+                lookup = group.get
+                for candidate in batch:
+                    value = array[candidate[slot]]
+                    if value is None:
+                        continue  # NULL never joins
+                    rows = lookup(value)
+                    if not rows:
+                        continue
+                    keep = rows
+                    for compare, new_array, other_array, other, new_left in fused:
+                        if other_array is not None:
+                            other = other_array[candidate[other]]
+                        if new_left:
+                            keep = [
+                                row for row in keep if compare(new_array[row], other)
+                            ]
+                        else:
+                            keep = [
+                                row for row in keep if compare(other, new_array[row])
+                            ]
+                        if not keep:
+                            break
+                    if keep:
+                        extend([candidate + (row,) for row in keep])
+                return out
+
+            return join_single_fused
+
+        def join_multi(batch, keys=tuple(keys), fused=fused):
+            out: list[tuple[int, ...]] = []
+            extend = out.extend
+            for candidate in batch:
+                rows = None
+                for array, slot, group in keys:
+                    value = array[candidate[slot]]
+                    if value is None:
+                        rows = None
+                        break
+                    bucket = group.get(value)
+                    if not bucket:
+                        rows = None
+                        break
+                    rows = bucket if rows is None else rows & bucket
+                    if not rows:
+                        break
+                if not rows:
+                    continue
+                keep = rows
+                for compare, new_array, other_array, other, new_left in fused:
+                    if other_array is not None:
+                        other = other_array[candidate[other]]
+                    if new_left:
+                        keep = [row for row in keep if compare(new_array[row], other)]
+                    else:
+                        keep = [row for row in keep if compare(other, new_array[row])]
+                    if not keep:
+                        break
+                if keep:
+                    extend([candidate + (row,) for row in keep])
+            return out
+
+        return join_multi
+
+    def _operand(self, operand) -> tuple[list | None, object]:
+        """``(column array, slot)`` for a ColumnRef, ``(None, value)`` else."""
+        if isinstance(operand, Literal):
+            return None, operand.value
+        assert isinstance(operand, ColumnRef)
+        slot = self._slot_of[operand.table]
+        relation = self.relation_of[operand.table]
+        if operand.column == _ID:
+            return self.store.ids(relation), slot
+        return self.store.column(relation, operand.column), slot
+
+    def _compile_filter(self, condition: Condition) -> BatchFilter:
+        """A vectorized predicate over candidate batches.
+
+        Comparisons specialize into one list comprehension with the operand
+        arrays captured; And/Or (absent from DC-sourced queries but legal
+        plan residue) fall back to a per-candidate scalar evaluator.
+        """
+        if isinstance(condition, Comparison):
+            compare = _COMPARE[condition.op]
+            left_array, left = self._operand(condition.left)
+            right_array, right = self._operand(condition.right)
+            if left_array is None and right_array is None:
+                keep = compare(left, right)
+                return (lambda batch: batch) if keep else (lambda batch: [])
+            if left_array is None:
+
+                def filter_const_col(
+                    batch, compare=compare, value=left, array=right_array, slot=right
+                ):
+                    return [c for c in batch if compare(value, array[c[slot]])]
+
+                return filter_const_col
+            if right_array is None:
+
+                def filter_col_const(
+                    batch, compare=compare, array=left_array, slot=left, value=right
+                ):
+                    return [c for c in batch if compare(array[c[slot]], value)]
+
+                return filter_col_const
+
+            # EQ/NE dominate DC bodies (joins and FD consequents); their
+            # NULL rule inlines into the comprehension, dropping the
+            # per-candidate kernel call.
+            if condition.op is ComparisonOp.EQ:
+
+                def filter_eq_col_col(
+                    batch, a=left_array, i=left, b=right_array, j=right
+                ):
+                    return [
+                        c
+                        for c in batch
+                        if (l := a[c[i]]) is not None
+                        and (r := b[c[j]]) is not None
+                        and l == r
+                    ]
+
+                return filter_eq_col_col
+            if condition.op is ComparisonOp.NE:
+
+                def filter_ne_col_col(
+                    batch, a=left_array, i=left, b=right_array, j=right
+                ):
+                    return [
+                        c
+                        for c in batch
+                        if (l := a[c[i]]) is not None
+                        and (r := b[c[j]]) is not None
+                        and l != r
+                    ]
+
+                return filter_ne_col_col
+
+            def filter_col_col(
+                batch,
+                compare=compare,
+                left_array=left_array,
+                left_slot=left,
+                right_array=right_array,
+                right_slot=right,
+            ):
+                return [
+                    c
+                    for c in batch
+                    if compare(left_array[c[left_slot]], right_array[c[right_slot]])
+                ]
+
+            return filter_col_col
+        scalar = self._compile_scalar(condition)
+        return lambda batch: [c for c in batch if scalar(c)]
+
+    def _compile_scalar(self, condition: Condition) -> Callable[[tuple], bool]:
+        if isinstance(condition, Comparison):
+            compare = _COMPARE[condition.op]
+            left_array, left = self._operand(condition.left)
+            right_array, right = self._operand(condition.right)
+
+            def scalar(candidate):
+                lhs = left if left_array is None else left_array[candidate[left]]
+                rhs = right if right_array is None else right_array[candidate[right]]
+                return compare(lhs, rhs)
+
+            return scalar
+        children = [self._compile_scalar(child) for child in condition.conditions]
+        if isinstance(condition, And):
+            return lambda candidate: all(child(candidate) for child in children)
+        if isinstance(condition, Or):
+            return lambda candidate: any(child(candidate) for child in children)
+        raise TypeError(f"unexpected condition {condition!r}")
+
+
+def _linearize(node: PlanNode) -> tuple[ScanPlan, list[JoinPlan]]:
+    """A left-deep plan tree as (seed scan, join steps outward-in order)."""
+    steps: list[JoinPlan] = []
+    while isinstance(node, JoinPlan):
+        steps.append(node)
+        node = node.left
+    steps.reverse()
+    return node, steps
+
+
+# ----------------------------------------------------------------------
+# The strategy objects
+# ----------------------------------------------------------------------
+class WitnessEnumerator:
+    """One DC's enumeration strategy: a cold scan and a delta pass.
+
+    Both entry points return witness fact-id sets; every backend must
+    return exactly the sets the probe reference returns.
+    """
+
+    stats: EnumerationStats
+
+    def cold(self, database: Database) -> Witnesses:
+        raise NotImplementedError
+
+    def delta(self, database: Database, dirty_ids: Iterable[int]) -> Witnesses:
+        raise NotImplementedError
+
+
+class ProbeEnumerator(WitnessEnumerator):
+    """The tuple-at-a-time reference backend (pre-existing code paths)."""
+
+    def __init__(
+        self,
+        dc: DenialConstraint,
+        eq_index: EqualityColumnIndex,
+        stats: EnumerationStats | None = None,
+    ) -> None:
+        self.dc = dc
+        self.eq_index = eq_index
+        self.stats = stats if stats is not None else EnumerationStats("probe")
+        self.stats.engine = "probe"
+
+    def cold(self, database: Database) -> Witnesses:
+        stats = self.stats
+        stats.cold_runs += 1
+        found = {
+            frozenset(ids) for ids in _witness_id_sets(self.dc, database, False)
+        }
+        stats.witnesses_emitted += len(found)
+        return found
+
+    def delta(self, database: Database, dirty_ids: Iterable[int]) -> Witnesses:
+        stats = self.stats
+        stats.delta_runs += 1
+        found = delta_witnesses(self.dc, database, dirty_ids, self.eq_index)
+        stats.witnesses_emitted += len(found)
+        return found
+
+
+class BatchEnumerator(WitnessEnumerator):
+    """The set-based backend: compiled batch join plans over the column store."""
+
+    def __init__(
+        self,
+        dc: DenialConstraint,
+        schema: Schema,
+        store: ColumnStore,
+        stats: EnumerationStats | None = None,
+    ) -> None:
+        self.dc = dc
+        self.schema = schema
+        self.store = store
+        self.stats = stats if stats is not None else EnumerationStats("batch")
+        self.stats.engine = "batch"
+        register_batch_columns(dc, store)
+        #: pin index → BatchPlan, compiled lazily on first enumeration so
+        #: construction can finish registering every DC's columns before
+        #: the store is built.
+        self._plans: list[BatchPlan] | None = None
+
+    def _compiled(self) -> list[BatchPlan]:
+        if self._plans is None:
+            compiler = _PlanCompiler(self.dc, self.schema, self.store)
+            self._plans = [
+                compiler.compile_pin(pin) for pin in range(self.dc.width)
+            ]
+            self.stats.plans_compiled += len(self._plans)
+        return self._plans
+
+    #: Cold seed rows processed per plan run.  Witnesses partition by the
+    #: pinned seed row, so chunking only bounds the intermediate candidate
+    #: batches (keeping them cache-resident) — the union is unchanged.
+    COLD_CHUNK = 8192
+
+    def cold(self, database: Database) -> Witnesses:
+        stats = self.stats
+        stats.cold_runs += 1
+        plan = self._compiled()[0]
+        seed = self.store.relation(plan.seed_relation).live_rows()
+        chunk = self.COLD_CHUNK
+        found: Witnesses = set()
+        for start in range(0, len(seed), chunk):
+            found |= plan.run(seed[start : start + chunk], stats)
+        stats.witnesses_emitted += len(found)
+        return found
+
+    def delta(self, database: Database, dirty_ids: Iterable[int]) -> Witnesses:
+        """One set-based pass per pinned tuple variable, seeded by relation.
+
+        The dirty identifiers are grouped by relation **once**; each plan
+        is seeded with its pin relation's group (identifiers outside the
+        database are skipped by the row lookup).
+        """
+        stats = self.stats
+        stats.delta_runs += 1
+        store = self.store
+        by_relation: dict[str, list[int]] = {}
+        for identifier in dirty_ids:
+            if identifier not in database:
+                continue
+            relation = database[identifier].relation
+            if store.has_relation(relation):
+                by_relation.setdefault(relation, []).append(identifier)
+        found: Witnesses = set()
+        if not by_relation:
+            return found
+        rows_cache: dict[str, list[int]] = {}
+        for plan in self._compiled():
+            identifiers = by_relation.get(plan.seed_relation)
+            if not identifiers:
+                continue
+            rows = rows_cache.get(plan.seed_relation)
+            if rows is None:
+                rows = store.relation(plan.seed_relation).rows_for_ids(
+                    identifiers
+                )
+                rows_cache[plan.seed_relation] = rows
+            found |= plan.run(rows, stats)
+        stats.witnesses_emitted += len(found)
+        return found
+
+
+def build_enumerators(
+    engine: str,
+    dcs: Sequence[DenialConstraint],
+    schema: Schema,
+    eq_index: EqualityColumnIndex,
+    stats: Sequence[EnumerationStats | None] | None = None,
+) -> tuple[list[WitnessEnumerator], ColumnStore | None]:
+    """Per-DC strategy objects plus the shared column store (if any).
+
+    *engine* is ``"probe"`` (force the reference path everywhere),
+    ``"batch"`` (force batch; raises ``ValueError`` on a DC the batch
+    backend cannot compile) or ``"auto"`` (batch where compilable, probe
+    fallback).  *stats* threads session-owned counter records through a
+    rebuild so they accumulate; ``None`` entries are freshly created.
+
+    The returned store has every batch DC's columns registered but is
+    **not built** — the caller populates it from the database (cold build /
+    restore) and thereafter feeds it the change events.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown enumeration engine {engine!r}; expected one of {ENGINES}"
+        )
+    counters: list[EnumerationStats | None] = (
+        list(stats) if stats is not None else [None] * len(dcs)
+    )
+    use_batch: list[bool] = []
+    for dc in dcs:
+        if engine == "probe":
+            use_batch.append(False)
+        elif batch_compilable(dc):
+            use_batch.append(True)
+        elif engine == "batch":
+            raise ValueError(
+                f"constraint {dc.name!r} is not equality-joinable; the "
+                'batch engine cannot serve it (use engine="auto")'
+            )
+        else:
+            use_batch.append(False)
+    store = ColumnStore(schema) if any(use_batch) else None
+    enumerators: list[WitnessEnumerator] = []
+    for dc, batch, counter in zip(dcs, use_batch, counters):
+        if batch:
+            enumerators.append(BatchEnumerator(dc, schema, store, counter))
+        else:
+            enumerators.append(ProbeEnumerator(dc, eq_index, counter))
+    return enumerators, store

@@ -46,16 +46,14 @@ from ..measures.base import (
 )
 from ..relational.database import ChangeEvent, Database, Fact, Savepoint
 from ..relational.values import Value
-from ..violations.minimal import (
-    ViolationIndex,
-    _witness_id_sets,
-    lower_constraints,
-)
+from ..violations.minimal import ViolationIndex, lower_constraints
 from ..violations.topology import (
     ComponentTopology,
     TopologyComponent,
     split_minimized,
 )
+from .columnar import ColumnStore
+from .enumeration import ENGINES, WitnessEnumerator, build_enumerators
 from .snapshot import (
     SNAPSHOT_VERSION,
     DatabaseFingerprint,
@@ -63,7 +61,7 @@ from .snapshot import (
     constraint_digest,
     database_fingerprint,
 )
-from .witnesses import EqualityColumnIndex, WitnessStore, delta_witnesses
+from .witnesses import EqualityColumnIndex, WitnessStore
 
 
 def _split_measures(measures: list) -> tuple[list, list]:
@@ -215,6 +213,7 @@ class MeasurementSession:
         component_cache: ComponentValueCache | None = None,
         warm_start: SessionSnapshot | None = None,
         warm_fingerprint: DatabaseFingerprint | None = None,
+        engine: str = "auto",
     ) -> None:
         self.constraints = list(constraints)
         self.database = database
@@ -223,10 +222,22 @@ class MeasurementSession:
             if dcs is not None
             else lower_constraints(self.constraints, database.schema)
         )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown enumeration engine {engine!r}; expected one of {ENGINES}"
+            )
+        #: Witness-enumeration backend: "probe" | "batch" | "auto" (see
+        #: :mod:`repro.session.enumeration`).  Whatever the choice, the
+        #: maintained state is bit-identical.
+        self.engine = engine
         # The equality-column index, witness stores (with the reverse
-        # fact → (dc, witness) map) and the topology are all created by
-        # exactly one of _restore/_rebuild below.
+        # fact → (dc, witness) map), the per-DC enumeration backends (plus
+        # their columnar store, when any DC runs batch) and the topology
+        # are all created by exactly one of _restore/_rebuild below.
         self._eq_index: EqualityColumnIndex
+        self._enumerators: list[WitnessEnumerator]
+        self._columns: ColumnStore | None = None
+        self._enum_stats: list = [None] * len(self.dcs)
         self._witnesses: list[WitnessStore]
         self._touching: dict[int, set[tuple[int, frozenset[int]]]]
         self.topology: ComponentTopology
@@ -421,6 +432,8 @@ class MeasurementSession:
         except Exception:
             return False
         self._eq_index = eq_index
+        self._columns = None
+        self._attach_enumerators()
         self._dirty.clear()
         self._cached = None
         self._spec_base = None
@@ -606,10 +619,8 @@ class MeasurementSession:
         live = {fact for fact in touched if fact in database}
         fresh: set[frozenset[int]] = set()
         if live:
-            for dc in self.dcs:
-                fresh.update(
-                    delta_witnesses(dc, database, live, self._eq_index)
-                )
+            for enumerator in self._enumerators:
+                fresh.update(enumerator.delta(database, live))
         return self.topology.preview(gone, fresh)
 
     def _speculation_base(self) -> _SpeculationBase:
@@ -677,6 +688,8 @@ class MeasurementSession:
     def _on_change(self, event: ChangeEvent) -> None:
         self._dirty.add(event.identifier)
         self._eq_index.apply(event)
+        if self._columns is not None:
+            self._columns.apply(event)
 
     def _flush(self) -> None:
         """Fold the pending dirty set into the stores and the topology.
@@ -703,10 +716,8 @@ class MeasurementSession:
                                 del self._touching[other]
         live = {i for i in dirty if i in self.database}
         if live:
-            for dc_position, dc in enumerate(self.dcs):
-                for witness in delta_witnesses(
-                    dc, self.database, live, self._eq_index
-                ):
+            for dc_position, enumerator in enumerate(self._enumerators):
+                for witness in enumerator.delta(self.database, live):
                     if self._add_witness(dc_position, witness):
                         inserted.append((dc_position, witness))
         if self.topology.apply(retracted, inserted):
@@ -737,15 +748,51 @@ class MeasurementSession:
         index.adopt_components(self.topology.component_indexes())
         return index
 
+    def _attach_enumerators(self) -> None:
+        """(Re)create the per-DC enumeration backends and their column store.
+
+        The backends capture the current equality index (probe) or a fresh
+        registered-and-built column store (batch), so this runs after the
+        equality index exists, in both ``_rebuild`` and ``_restore``.  The
+        session-owned stats records are threaded through so counters
+        accumulate across rebuilds.
+        """
+        self._enumerators, self._columns = build_enumerators(
+            self.engine,
+            self.dcs,
+            self.database.schema,
+            self._eq_index,
+            self._enum_stats,
+        )
+        self._enum_stats = [
+            enumerator.stats for enumerator in self._enumerators
+        ]
+        if self._columns is not None:
+            self._columns.build(self.database)
+
+    def stats(self) -> dict:
+        """Per-DC enumeration counters (see :class:`EnumerationStats`)."""
+        return {
+            "engine": self.engine,
+            "constraints": [
+                dict(stats.as_dict(), constraint=dc.name)
+                for dc, stats in zip(self.dcs, self._enum_stats)
+            ],
+        }
+
     def _rebuild(self) -> None:
         # The equality index is rebuilt too: a refresh after *untracked*
         # mutations (the session was closed or never subscribed while the
         # database changed) must not leave stale hash buckets behind, or
         # every later delta re-enumeration would probe wrong candidates.
+        # The enumeration backends (and the columnar snapshots the batch
+        # backend joins over) are recreated with it for the same reason.
         self._eq_index = EqualityColumnIndex.for_constraints(
             self.database.schema, self.dcs
         )
         self._eq_index.build(self.database)
+        self._columns = None
+        self._attach_enumerators()
         self._witnesses = [WitnessStore(dc) for dc in self.dcs]
         self._touching = {}
         self._dirty.clear()
@@ -754,9 +801,8 @@ class MeasurementSession:
         self._spec_base = None
         self._spec_base_generation = -1
         inserted: list[tuple[int, frozenset[int]]] = []
-        for dc_position, dc in enumerate(self.dcs):
-            for ids in _witness_id_sets(dc, self.database, False):
-                witness = frozenset(ids)
+        for dc_position, enumerator in enumerate(self._enumerators):
+            for witness in enumerator.cold(self.database):
                 if self._add_witness(dc_position, witness):
                     inserted.append((dc_position, witness))
         self.topology.apply([], inserted)

@@ -147,9 +147,12 @@ class ShardedMeasurementSession:
         shards: str | Iterable[Iterable[str]] = "auto",
         *,
         warm_start: ShardedSessionSnapshot | None = None,
+        engine: str = "auto",
     ) -> None:
         self.constraints = list(constraints)
         self.database = database
+        #: Witness-enumeration backend, passed through to every shard.
+        self.engine = engine
         # Lower once; shards receive pre-lowered subsets.
         self.dcs = lower_constraints(self.constraints, database.schema)
         if isinstance(shards, str):
@@ -192,6 +195,7 @@ class ShardedMeasurementSession:
                 component_cache=self.component_cache,
                 warm_start=warm_shards[number] if warm_shards else None,
                 warm_fingerprint=warm_current,
+                engine=engine,
             )
             for number, dcs in enumerate(shard_dcs)
         ]
@@ -498,6 +502,16 @@ class ShardedMeasurementSession:
             )
         return results
 
+    def stats(self) -> dict:
+        """Per-DC enumeration counters, merged in global lowered-DC order."""
+        shard_stats = [shard.stats()["constraints"] for shard in self.shards]
+        return {
+            "engine": self.engine,
+            "constraints": [
+                shard_stats[number][local] for number, local in self._routing
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -700,6 +714,7 @@ def make_session(
     database: Database,
     shards: str | Iterable[Iterable[str]] | None = None,
     warm_start=None,
+    engine: str = "auto",
 ):
     """A measurement session, sharded when *shards* asks for it.
 
@@ -711,10 +726,15 @@ def make_session(
 
     *warm_start* threads a snapshot into whichever session is built; a
     snapshot of the other flavor (or any mismatch) falls back to the
-    ordinary cold build.
+    ordinary cold build.  *engine* selects the witness-enumeration backend
+    (``"probe"`` | ``"batch"`` | ``"auto"``, see
+    :mod:`repro.session.enumeration`); results are bit-identical whatever
+    the choice.
     """
     if shards is None:
-        return MeasurementSession(constraints, database, warm_start=warm_start)
+        return MeasurementSession(
+            constraints, database, warm_start=warm_start, engine=engine
+        )
     return ShardedMeasurementSession(
-        constraints, database, shards=shards, warm_start=warm_start
+        constraints, database, shards=shards, warm_start=warm_start, engine=engine
     )

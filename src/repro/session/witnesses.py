@@ -198,16 +198,22 @@ def delta_witnesses(
     unchanged facts are, by definition of a witness, unaffected by the delta
     and need no re-enumeration.  Identifiers absent from *database* (deleted
     facts) are skipped.
+
+    The dirty identifiers are grouped by relation in **one** pass — the
+    pin loop then walks each variable's own group, instead of rescanning
+    the full dirty set once per tuple variable (which also makes a
+    single-use iterator input safe).
     """
     schema = database.schema
+    by_relation: dict[str, list[tuple[int, Fact]]] = {}
+    for identifier in dirty_ids:
+        if identifier not in database:
+            continue
+        fact = database[identifier]
+        by_relation.setdefault(fact.relation, []).append((identifier, fact))
     found: set[frozenset[int]] = set()
     for pin_var, pin_rel in dc.variables:
-        for identifier in dirty_ids:
-            if identifier not in database:
-                continue
-            fact = database[identifier]
-            if fact.relation != pin_rel:
-                continue
+        for identifier, fact in by_relation.get(pin_rel, ()):
             assignment = {pin_var: fact}
             if not _bound_predicates_hold(dc, assignment, {pin_var}, pin_var, schema):
                 continue

@@ -8,7 +8,7 @@ from .ast import ColumnRef, Comparison, CountStar, Literal, SelectQuery, TableRe
 from .executor import SqlEngine
 from .lexer import tokenize
 from .parser import parse_query
-from .planner import explain, plan_query
+from .planner import equality_join_order, explain, plan_query
 from .tokens import SqlSyntaxError, Token, TokenType
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "TableRef",
     "Token",
     "TokenType",
+    "equality_join_order",
     "explain",
     "parse_query",
     "plan_query",

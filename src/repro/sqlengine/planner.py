@@ -11,6 +11,15 @@ Joins are built left-deep in FROM-clause order.  A join step with at least
 one usable equality key becomes a hash join; otherwise a nested-loop join.
 This mirrors what any real engine does for the paper's conflict queries: the
 equality predicates of a DC drive the join, the inequalities filter.
+
+``plan_query(..., reorder_equalities=True)`` instead chooses the left-deep
+order from the **equality graph** (aliases are nodes, cross-alias equality
+predicates are edges): starting from the first FROM table, the next table is
+always one reachable through an equality edge from the already-joined set,
+so every join step that *can* be a hash join *is* one.  Aliases the graph
+never reaches are appended last (they degrade to nested loops).  The
+set-based witness enumeration backend compiles its batch join plans under
+this order, seeded on whichever tuple variable a delta pins first.
 """
 
 from __future__ import annotations
@@ -64,13 +73,50 @@ class QueryPlan:
     final_residual: list[Condition] = field(default_factory=list)
 
 
+def equality_join_order(
+    aliases: Sequence[str], cross_equi: Sequence[Comparison]
+) -> list[str]:
+    """A left-deep join order that follows the equality graph.
+
+    Starting from ``aliases[0]`` (the seed stays fixed — callers pin it),
+    repeatedly appends an alias connected to the placed set by some
+    cross-alias equality predicate, preferring FROM-clause order among the
+    reachable ones; aliases the graph never reaches come last, in FROM
+    order.  Every placed-while-reachable step is guaranteed at least one
+    usable hash key under the planner's left-deep key fitting.
+    """
+    edges: dict[str, set[str]] = {alias: set() for alias in aliases}
+    for comparison in cross_equi:
+        left, right = comparison.left, comparison.right
+        assert isinstance(left, ColumnRef) and isinstance(right, ColumnRef)
+        edges[left.table].add(right.table)
+        edges[right.table].add(left.table)
+    order = [aliases[0]]
+    placed = {aliases[0]}
+    remaining = [alias for alias in aliases[1:]]
+    while remaining:
+        pick = next(
+            (alias for alias in remaining if edges[alias] & placed),
+            remaining[0],
+        )
+        order.append(pick)
+        placed.add(pick)
+        remaining.remove(pick)
+    return order
+
+
 def plan_query(
-    query: SelectQuery, *, force_nested_loop: bool = False
+    query: SelectQuery,
+    *,
+    force_nested_loop: bool = False,
+    reorder_equalities: bool = False,
 ) -> QueryPlan:
     """Build a physical plan for *query*.
 
     *force_nested_loop* disables hash joins (used by the join-strategy
-    ablation bench).
+    ablation bench).  *reorder_equalities* picks the left-deep join order
+    from the equality graph via :func:`equality_join_order` instead of the
+    FROM-clause order (the first table always stays the seed).
     """
     aliases = [table.alias for table in query.tables]
     alias_set = set(aliases)
@@ -93,6 +139,8 @@ def plan_query(
         else:
             residual.append(conjunct)
 
+    if reorder_equalities and len(aliases) > 1:
+        aliases = equality_join_order(aliases, cross_equi)
     scans = {
         table.alias: ScanPlan(table=table, filters=single[table.alias])
         for table in query.tables

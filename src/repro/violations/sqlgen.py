@@ -8,21 +8,74 @@ pairs with a self-join query such as::
     WHERE R1.St = R2.St AND R1.Salary > R2.Salary AND R1.Tax < R2.Tax
 
 This module renders that query from a :class:`DenialConstraint` and runs it
-through the in-package SQL engine.
+through the in-package SQL engine.  :func:`conflict_query` builds the parsed
+:class:`~repro.sqlengine.ast.SelectQuery` directly — no text round trip, so
+constants that have no SQL literal rendering still execute — and is also the
+entry point the set-based enumeration backend compiles its batch join plans
+from (:mod:`repro.session.enumeration`).
 """
 
 from __future__ import annotations
 
 from ..constraints.dc import DenialConstraint, Term
 from ..relational.database import Database
+from ..sqlengine.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Condition,
+    Literal,
+    SelectQuery,
+    TableRef,
+)
 from ..sqlengine.executor import SqlEngine
+
+
+def variable_aliases(dc: DenialConstraint) -> dict[str, str]:
+    """The ``tuple variable → table alias`` map the conflict query uses."""
+    return {
+        variable: f"T{index}" for index, (variable, _) in enumerate(dc.variables)
+    }
+
+
+def conflict_query(dc: DenialConstraint) -> SelectQuery:
+    """The conflict query for *dc* as a parsed :class:`SelectQuery` AST.
+
+    Equivalent to ``parse_query(conflict_sql(dc))`` but built structurally:
+    each tuple variable becomes an aliased table, each predicate a
+    comparison, and the SELECT list projects every alias's ``ID``
+    pseudo-column.
+    """
+    alias_of = variable_aliases(dc)
+    select = tuple(
+        ColumnRef(alias_of[variable], SqlEngine.ID_COLUMN)
+        for variable, _ in dc.variables
+    )
+    tables = tuple(
+        TableRef(relation, alias_of[variable])
+        for variable, relation in dc.variables
+    )
+    comparisons: list[Condition] = [
+        Comparison(
+            _ast_term(predicate.left, alias_of),
+            predicate.op,
+            _ast_term(predicate.right, alias_of),
+        )
+        for predicate in dc.predicates
+    ]
+    where: Condition | None
+    if not comparisons:
+        where = None
+    elif len(comparisons) == 1:
+        where = comparisons[0]
+    else:
+        where = And(tuple(comparisons))
+    return SelectQuery(select=select, distinct=True, tables=tables, where=where)
 
 
 def conflict_sql(dc: DenialConstraint) -> str:
     """Render the conflict-pair (or conflict-row) query for *dc*."""
-    alias_of = {
-        variable: f"T{index}" for index, (variable, _) in enumerate(dc.variables)
-    }
+    alias_of = variable_aliases(dc)
     select = ", ".join(
         f"{alias_of[variable]}.ID" for variable, _ in dc.variables
     )
@@ -49,7 +102,13 @@ def conflict_rows(
 ) -> list[tuple[int, ...]]:
     """Identifier tuples (one per tuple variable) of all witnesses of *dc*."""
     engine = SqlEngine(database, force_nested_loop=force_nested_loop)
-    return engine.execute(conflict_sql(dc))
+    return engine.execute_query(conflict_query(dc))
+
+
+def _ast_term(term: Term, alias_of: dict[str, str]):
+    if term.is_constant:
+        return Literal(term.constant)
+    return ColumnRef(alias_of[term.variable], term.attribute)
 
 
 def _render_term(term: Term, alias_of: dict[str, str]) -> str:

@@ -83,3 +83,44 @@ class TestExplain:
     def test_explain_nested_loop(self):
         p = plan("SELECT * FROM R AS R1, R AS R2 WHERE R1.A < R2.A")
         assert "NestedLoopJoin" in explain(p)
+
+
+class TestEqualityReorder:
+    def _aliases_in_order(self, node):
+        if isinstance(node, ScanPlan):
+            return [node.table.alias]
+        return self._aliases_in_order(node.left) + [node.right.table.alias]
+
+    def test_from_order_cross_product_avoided(self):
+        # FROM order T0, T1, T2 but the equality edges are T0–T2 and T2–T1:
+        # the plain plan pays a cross product on the T0 ⋈ T1 step, the
+        # reordered plan follows the equality graph.
+        sql = (
+            "SELECT T0.ID FROM R AS T0, R AS T1, R AS T2 "
+            "WHERE T0.A = T2.A AND T2.B = T1.B"
+        )
+        plain = plan(sql)
+        assert not plain.root.left.use_hash  # T0 ⋈ T1 has no key
+        reordered = plan(sql, reorder_equalities=True)
+        assert self._aliases_in_order(reordered.root) == ["T0", "T2", "T1"]
+        node = reordered.root
+        while isinstance(node, JoinPlan):
+            assert node.use_hash and node.equi_keys
+            node = node.left
+
+    def test_seed_alias_stays_first(self):
+        sql = (
+            "SELECT T0.ID FROM R AS T1, R AS T0, R AS T2 "
+            "WHERE T0.A = T1.A AND T1.B = T2.B"
+        )
+        reordered = plan(sql, reorder_equalities=True)
+        assert self._aliases_in_order(reordered.root)[0] == "T1"
+
+    def test_unreachable_aliases_come_last(self):
+        sql = (
+            "SELECT T0.ID FROM R AS T0, R AS T1, R AS T2 "
+            "WHERE T0.A = T2.A"
+        )
+        reordered = plan(sql, reorder_equalities=True)
+        assert self._aliases_in_order(reordered.root) == ["T0", "T2", "T1"]
+        assert not reordered.root.use_hash  # T1 joins with no key
