@@ -1,0 +1,176 @@
+"""Anytime solver on a hub workload: time-to-first-bound and tightness.
+
+The adversarial case for component localization is a *hub*: one conflict
+component spanning the whole database, where ``I_MC`` (#P-complete MIS
+counting) and ``I_R`` (NP-hard hitting sets) used to be exact-or-hang.
+This bench builds a path-shaped single-component workload (``~1.32^n``
+maximal consistent subsets) and drives the budgeted engine through it:
+
+* **time-to-first-bound**: a budgeted ``measure_all`` must return a
+  status-carrying :class:`~repro.solvers.anytime.BoundedValue` within
+  ~2× its budget (the slack covers interpreter overhead at tiny budgets),
+  instead of stalling for the full exact solve;
+* **bound tightness vs budget**: sweeping budgets must keep
+  ``lower ≤ exact ≤ upper`` at every point, with the I_MC lower bound
+  (the partial enumeration count) weakly improving as the budget grows;
+* **unbudgeted identity**: after all the degraded runs, the unlimited
+  path still returns the exact value bit-identically — a tight budget
+  never poisons later reads.
+
+Results land in ``BENCH_anytime.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.constraints import FunctionalDependency
+from repro.measures.mc import MaximalConsistentMeasure
+from repro.measures.minimal_repair import MinimumRepairMeasure
+from repro.relational import Database, Fact, Schema
+from repro.session import MeasurementSession
+from repro.solvers.anytime import OPTIMAL, TIMEOUT, BoundedValue, status_of
+
+from _common import RESULTS_DIR, banner, full_scale, save_artifact, scaled
+
+#: Path length — one conflict component over the whole relation.  40 facts
+#: give ~7.3e4 maximal consistent subsets: large enough that millisecond
+#: budgets genuinely truncate the count, small enough that the exact
+#: reference stays cheap.
+HUB_FACTS = 40
+
+#: Budget sweep (seconds).  The first point is the time-to-first-bound
+#: probe; the rest trace tightness growth.
+BUDGETS = (0.002, 0.01, 0.05, 0.2)
+
+#: A budgeted call may overshoot its deadline by solver-poll granularity
+#: and interpreter overhead, but never by more than ~2× (plus a constant
+#: floor for the topology/index work that is not budgetable).
+OVERSHOOT_FACTOR = 2.0
+OVERSHOOT_FLOOR_SECONDS = 0.25
+
+
+def _hub_workload() -> tuple[list, Database]:
+    n = scaled(HUB_FACTS)
+    schema = Schema.from_dict({"R": ["A", "B", "C"]})
+    database = Database.from_facts(
+        schema, [Fact("R", (i // 2, i, (i + 1) // 2)) for i in range(n)]
+    )
+    constraints = [
+        FunctionalDependency("R", {"A"}, {"B"}),
+        FunctionalDependency("R", {"C"}, {"B"}),
+    ]
+    return constraints, database
+
+
+def run_sweep() -> dict:
+    constraints, database = _hub_workload()
+    measures = [MaximalConsistentMeasure(), MinimumRepairMeasure()]
+
+    with MeasurementSession(constraints, database) as session:
+        # Exact reference first, on a throwaway session state: fresh
+        # measure instances below keep the budgeted runs cache-cold.
+        start = time.perf_counter()
+        exact = {
+            measure.name: float(value)
+            for measure, value in zip(
+                measures, session.measure_all(measures).values()
+            )
+        }
+        exact_seconds = time.perf_counter() - start
+
+    points = []
+    for budget in BUDGETS:
+        # A fresh session (and fresh measure instances) per point: budgeted
+        # solves must not be served from a previous point's exact cache.
+        measures = [MaximalConsistentMeasure(), MinimumRepairMeasure()]
+        with MeasurementSession(constraints, database) as session:
+            start = time.perf_counter()
+            values = session.measure_all(measures, budget=budget)
+            elapsed = time.perf_counter() - start
+            ceiling = max(
+                OVERSHOOT_FACTOR * budget, budget + OVERSHOOT_FLOOR_SECONDS
+            )
+            assert elapsed <= ceiling, (
+                f"budget {budget}s answered in {elapsed:.3f}s "
+                f"(> {ceiling:.3f}s ceiling)"
+            )
+            row = {"budget_seconds": budget, "elapsed_seconds": elapsed}
+            for name, value in values.items():
+                entry = (
+                    value.as_dict()
+                    if isinstance(value, BoundedValue)
+                    else {"value": float(value), "status": OPTIMAL}
+                )
+                if isinstance(value, BoundedValue):
+                    assert value.lower <= exact[name] <= value.upper, (
+                        f"{name} bounds [{value.lower}, {value.upper}] miss "
+                        f"the exact value {exact[name]} at budget {budget}s"
+                    )
+                else:
+                    assert float(value) == exact[name]
+                row[name] = entry
+            # After the degraded run, the same session must still produce
+            # the exact values bit-identically — nothing was poisoned.
+            recovered = session.measure_all(measures)
+            assert {
+                name: float(value) for name, value in recovered.items()
+            } == exact, f"post-budget exact re-measure diverged at {budget}s"
+            assert all(
+                status_of(value) == OPTIMAL for value in recovered.values()
+            )
+            points.append(row)
+
+    # At full scale the tiniest budget must already degrade I_MC (the
+    # exact count takes ~3 orders of magnitude longer); smoke runs shrink
+    # the workload until 2ms can finish exactly, so only the bound-bracket
+    # and identity assertions above apply there.  Either way the partial
+    # count — the lower bound — must weakly improve with the budget.
+    if full_scale():
+        assert points[0]["I_MC"]["status"] == TIMEOUT
+    mc_lowers = [
+        row["I_MC"].get("lower", row["I_MC"]["value"]) for row in points
+    ]
+    assert all(
+        later >= earlier - 1e-9
+        for earlier, later in zip(mc_lowers, mc_lowers[1:])
+    ), f"I_MC lower bounds regressed across budgets: {mc_lowers}"
+
+    return {
+        "facts": len(database),
+        "exact": exact,
+        "exact_seconds": exact_seconds,
+        "time_to_first_bound_seconds": points[0]["elapsed_seconds"],
+        "points": points,
+    }
+
+
+def test_bench_anytime_solver(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"hub: {rows['facts']} facts, exact I_MC={rows['exact']['I_MC']:g} "
+        f"in {rows['exact_seconds']:.3f}s, first bound in "
+        f"{rows['time_to_first_bound_seconds'] * 1000:.1f}ms"
+    ]
+    for row in rows["points"]:
+        mc = row["I_MC"]
+        lines.append(
+            f"budget {row['budget_seconds'] * 1000:7.1f}ms -> "
+            f"{row['elapsed_seconds'] * 1000:7.1f}ms, I_MC "
+            + (
+                f"[{mc['lower']:g}, {mc['upper']:g}] ({mc['status']})"
+                if "lower" in mc
+                else f"= {mc['value']:g} ({mc['status']})"
+            )
+        )
+    body = "\n".join(lines)
+    if full_scale():  # smoke runs must not clobber the committed trajectory
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_anytime.json").write_text(
+            json.dumps(rows, indent=2) + "\n", encoding="utf-8"
+        )
+    save_artifact(
+        "anytime_solver",
+        banner("Anytime solver: time-to-first-bound and tightness", body),
+    )

@@ -1,3 +1,25 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    description=(
+        "Inconsistency measures for relational data "
+        "(Livshits et al., SIGMOD 2021 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    # The core package is dependency-free on purpose: every solver has a
+    # pure-python implementation, and the optional backends below only
+    # *sharpen* results (the anytime chain reports status=FALLBACK and
+    # keeps honest bounds when they are absent — see
+    # repro/solvers/anytime.py).
+    extras_require={
+        # CP-SAT backend for the I_R hitting-set chain (and any future
+        # chain stage that probes repro.solvers.anytime.has_cpsat()).
+        "cpsat": ["ortools>=9.4"],
+        # Per-test wall-clock ceilings in CI; tests/conftest.py falls back
+        # to a SIGALRM-based ceiling when the plugin is not installed.
+        "timeout": ["pytest-timeout"],
+    },
+)

@@ -15,6 +15,7 @@ from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure
 from ..relational.database import Database
 from ..session import make_session
+from ..solvers.anytime import status_of
 from .holoclean import CleaningReport, MiniHoloClean
 
 
@@ -23,11 +24,14 @@ class PipelineResult:
     """Measure trajectories over the incremental pipeline.
 
     ``series[name][k]`` is the measure value after cleaning with the first
-    *k* constraints (k = 0 is the dirty database).
+    *k* constraints (k = 0 is the dirty database); ``statuses[name][k]`` is
+    the solver status behind it (``OPTIMAL`` unless a budgeted run
+    degraded that point to bounds).
     """
 
     constraint_names: list[str]
     series: dict[str, list[float]] = field(default_factory=dict)
+    statuses: dict[str, list[str]] = field(default_factory=dict)
     reports: list[CleaningReport] = field(default_factory=list)
 
     def normalized(self) -> dict[str, list[float]]:
@@ -45,6 +49,7 @@ def run_incremental_pipeline(
     seed: int | None = None,
     shards: str | None = None,
     warm_start=None,
+    time_budget: float | None = None,
 ) -> PipelineResult:
     """Clean with one additional constraint per step, measuring after each.
 
@@ -59,7 +64,9 @@ def run_incremental_pipeline(
     snapshot of the dirty base state: the pipeline measures over a working
     ``database.copy()``, which preserves identifiers and allocator state,
     so one snapshot warms every permutation of the same pipeline
-    (mismatches cold-build).
+    (mismatches cold-build).  *time_budget* (seconds) caps each
+    measurement point's solver work; degraded points carry their status in
+    ``result.statuses``.
     """
     order = list(permutation) if permutation is not None else list(range(len(constraints)))
     if sorted(order) != list(range(len(constraints))):
@@ -68,11 +75,16 @@ def run_incremental_pipeline(
     result = PipelineResult(
         constraint_names=[_name_of(full_set[i]) for i in order],
         series={measure.name: [] for measure in measures},
+        statuses={measure.name: [] for measure in measures},
     )
     current = database.copy()
 
     with make_session(
-        full_set, current, shards=shards, warm_start=warm_start
+        full_set,
+        current,
+        shards=shards,
+        warm_start=warm_start,
+        time_budget=time_budget,
     ) as session:
 
         def record() -> None:
@@ -82,7 +94,8 @@ def run_incremental_pipeline(
             # untouched reuse their cached solver results — no full index
             # is assembled per measurement point.
             for name, value in session.measure_all(measures).items():
-                result.series[name].append(value)
+                result.series[name].append(float(value))
+                result.statuses[name].append(status_of(value))
 
         record()
         for step in range(1, len(order) + 1):

@@ -28,7 +28,27 @@ from typing import Sequence
 from .constraints import Constraint, parse_dc, parse_fd
 from .measures import available_measures, make_measure
 from .relational import Database, load_csv
+from .solvers.anytime import as_budget, solver_scope, status_of, OPTIMAL
 from .violations import build_violation_index
+
+
+def format_measurement(
+    name: str, value: float, budget: float | None = None
+) -> str:
+    """One report line: exact values plain, degraded ones as bounds.
+
+    A degraded (non-OPTIMAL) solve prints the honest interval and its
+    status — ``I_MC ∈ [13621, 2.82e+11]  (TIMEOUT after 2s)`` — instead of
+    a point estimate that looks exact but is not.
+    """
+    status = status_of(value)
+    if status == OPTIMAL:
+        return f"{name} = {float(value)}"
+    suffix = f" after {budget:g}s" if budget is not None else ""
+    return (
+        f"{name} ∈ [{value.lower:g}, {value.upper:g}]  "
+        f"({status}{suffix}; best estimate {float(value):g})"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="K",
         help="also print the K facts with the highest I_MI Shapley blame",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="solver budget per measure: hard measures (I_MC, I_R) degrade "
+        "to honest [lower, upper] bounds with a TIMEOUT/FALLBACK status "
+        "instead of stalling; omit for exact (unbudgeted) answers",
     )
     parser.add_argument(
         "--warm-start",
@@ -145,10 +174,13 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     for name in args.measures:
         measure = make_measure(name)
         if session is not None:
-            value = session.measure(measure)
+            value = session.measure(measure, budget=args.time_budget)
+        elif args.time_budget is not None:
+            with solver_scope(as_budget(args.time_budget)):
+                value = measure.value(constraints, database, index)
         else:
             value = measure.value(constraints, database, index)
-        print(f"{name} = {value}", file=out)
+        print(format_measurement(name, value, args.time_budget), file=out)
     if session is not None:
         # A warm-restored run never mutated the database, so the state on
         # disk is already current — re-serializing it would just re-pay

@@ -15,17 +15,25 @@ from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure, normalize_series
 from ..relational.database import Database
 from ..session import make_session
+from ..solvers.anytime import status_of
 from ..violations.minimal import ViolationIndex, build_violation_index
 
 
 @dataclass
 class BehaviorResult:
-    """Series of measure values along a noise run."""
+    """Series of measure values along a noise run.
+
+    ``statuses[name][k]`` carries each point's solver status (``OPTIMAL``
+    unless the run was budgeted and the solve degraded) so a budgeted sweep
+    can plot exact and bounded points differently instead of silently
+    mixing them.
+    """
 
     dataset: str
     noise: str
     iterations: list[int] = field(default_factory=list)
     series: dict[str, list[float]] = field(default_factory=dict)
+    statuses: dict[str, list[str]] = field(default_factory=dict)
     violation_ratio: float = 0.0
 
     def normalized(self) -> dict[str, list[float]]:
@@ -50,6 +58,7 @@ def run_behavior_experiment(
     noise_name: str = "",
     shards: str | None = None,
     warm_start=None,
+    time_budget: float | None = None,
 ) -> BehaviorResult:
     """Mutate *database* in place with *noise*, measuring every *k* steps.
 
@@ -63,13 +72,21 @@ def run_behavior_experiment(
     :meth:`~repro.session.MeasurementSession.snapshot` of the same base
     ``(Σ, D)`` so a batch of sweeps skips the from-scratch build per run
     (mismatches cold-build; series are bit-identical either way).
+    *time_budget* (seconds) caps each measurement point's solver work: hard
+    measures degrade to bounded estimates whose status lands in
+    ``result.statuses`` instead of stalling the sweep.
     """
     result = BehaviorResult(dataset=dataset_name, noise=noise_name)
     for measure in measures:
         result.series[measure.name] = []
+        result.statuses[measure.name] = []
 
     with make_session(
-        constraints, database, shards=shards, warm_start=warm_start
+        constraints,
+        database,
+        shards=shards,
+        warm_start=warm_start,
+        time_budget=time_budget,
     ) as session:
 
         def record(iteration: int) -> None:
@@ -79,7 +96,8 @@ def run_behavior_experiment(
             # sharded, the shards) the delta actually touched.
             result.iterations.append(iteration)
             for name, value in session.measure_all(measures).items():
-                result.series[name].append(value)
+                result.series[name].append(float(value))
+                result.statuses[name].append(status_of(value))
 
         record(0)
         for iteration in range(1, iterations + 1):

@@ -23,6 +23,13 @@ from typing import Sequence
 
 from ..constraints.base import Constraint
 from ..relational.database import Database
+from ..solvers.anytime import (
+    OPTIMAL,
+    BoundedValue,
+    bounded,
+    combine_bounds,
+    status_of,
+)
 from ..violations.minimal import ViolationIndex, build_violation_index
 
 
@@ -120,7 +127,26 @@ class ComponentwiseMeasure(InconsistencyMeasure):
         result is bit-identical to :meth:`value` no matter how many shards
         the components were collected from.  *pseudo_index* is required
         exactly when :func:`needs_finalize_index` holds.
+
+        Parts produced under a solver budget may be
+        :class:`~repro.solvers.anytime.BoundedValue`; bounds then combine
+        separately (``combine`` and ``finalize`` are monotone over the
+        measures' ranges — sums, non-negative-count products and affine
+        shifts), the statuses take their worst, and the assembled value is
+        itself a ``BoundedValue``.  All-float parts take the historical
+        bit-identical path.
         """
+        if any(isinstance(part, BoundedValue) for part in parts):
+            value, lower, upper, status = combine_bounds(self.combine, parts)
+            if needs_finalize_index(self):
+                if pseudo_index is None:
+                    raise ValueError(
+                        f"{self.name} overrides finalize and needs a pseudo index"
+                    )
+                value = float(self.finalize(value, pseudo_index))
+                lower = float(self.finalize(lower, pseudo_index))
+                upper = float(self.finalize(upper, pseudo_index))
+            return bounded(value, lower, upper, status)
         combined = self.combine(parts)
         if not needs_finalize_index(self):
             return float(combined)
@@ -141,7 +167,7 @@ class ComponentwiseMeasure(InconsistencyMeasure):
             self.component_value(constraints, database, component)
             for component in index.components()
         ]
-        return float(self.finalize(self.combine(parts), index))
+        return self.value_from_parts(parts, index)
 
 
 def needs_finalize_index(measure: "ComponentwiseMeasure") -> bool:
@@ -349,10 +375,12 @@ class ComponentValueCache:
         for (measure, key), value in self._values.items():
             if key not in live:
                 continue
+            if status_of(value) != OPTIMAL:  # pragma: no cover - belt
+                continue  # admission already bars these; keep the invariant
             token = self._token_of(measure)
             if token is None:
                 continue
-            exported.append((token, key, value))
+            exported.append((token, key, float(value)))
         return exported
 
     def absorb_warm(self, entries) -> None:
@@ -363,6 +391,8 @@ class ComponentValueCache:
         degrades, never crashes.
         """
         for token, key, value in entries:
+            if status_of(value) != OPTIMAL:
+                continue
             try:
                 self._warm[(token, key)] = value
             except TypeError:
@@ -402,6 +432,11 @@ class ComponentValueCache:
             self.misses += 1
         else:
             self.hits += 1
+        if status_of(part) != OPTIMAL:
+            # Never admit degraded values: a tight budget must not poison
+            # later unbudgeted reads (or the warm snapshots exported from
+            # this table) with a bound masquerading as the exact value.
+            return part
         if len(self._values) >= self.max_entries:
             self._evict()
         self._values[entry] = part
@@ -421,7 +456,7 @@ class ComponentValueCache:
             self.component_value(measure, constraints, database, component)
             for component in index.components()
         ]
-        return float(measure.finalize(measure.combine(parts), index))
+        return measure.value_from_parts(parts, index)
 
 
 def normalize_series(values: Sequence[float]) -> list[float]:

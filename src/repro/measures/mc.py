@@ -6,25 +6,32 @@ consistent subsets of D.  ``I'_MC`` additionally counts self-inconsistent
 
 Counting is #P-complete already for FDs (it is maximal-independent-set
 counting on the conflict graph), which the paper demonstrates with 24-hour
-timeouts.  Two mitigations apply here: ``|MC_Σ(D)|`` is *multiplicative*
+timeouts.  Three mitigations apply here: ``|MC_Σ(D)|`` is *multiplicative*
 over the connected components of the conflict (hyper)graph, so the
 enumerator only ever runs on one component at a time (turning many of the
-paper's timeout instances into products of tiny counts), and each
-per-component enumeration accepts a budget, raising
-:class:`~repro.solvers.cliques.EnumerationBudgetExceeded` beyond it.
+paper's timeout instances into products of tiny counts); each per-component
+enumeration accepts a budget, raising
+:class:`~repro.solvers.cliques.EnumerationBudgetExceeded` beyond it; and
+under an active solver budget (:mod:`repro.solvers.anytime`) the count
+degrades to honest bounds instead of raising — every maximal set already
+enumerated is a lower bound on the final count, and Moon–Moser's
+``3^(n/3)`` (or ``2^n`` for hypergraph conflicts) bounds it from above.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from ..constraints.base import Constraint
 from ..relational.database import Database
+from ..solvers import anytime
 from ..solvers.cliques import (
-    count_maximal_independent_sets,
+    EnumerationBudgetExceeded,
+    maximal_independent_sets,
     maximal_sets_avoiding,
 )
+from ..testing import faults
 from ..violations.minimal import ViolationIndex
 from .base import ComponentwiseMeasure
 
@@ -52,10 +59,18 @@ class MaximalConsistentMeasure(ComponentwiseMeasure):
         database: Database,
         component: ViolationIndex,
     ) -> float:
-        return float(self._count_component_mcs(component))
+        return anytime.solve_component(
+            self,
+            constraints,
+            database,
+            component,
+            lambda: float(self._count_component_mcs(component)),
+        )
 
-    def _count_component_mcs(self, component: ViolationIndex) -> int:
-        """``|MC|`` restricted to one connected component's facts.
+    def _component_core(
+        self, component: ViolationIndex
+    ) -> tuple[list[frozenset[int]], list[int]]:
+        """The conflict core the enumerators actually run on.
 
         Self-inconsistent facts belong to no consistent subset: after
         minimization they form isolated singleton components, whose only
@@ -69,20 +84,31 @@ class MaximalConsistentMeasure(ComponentwiseMeasure):
             for group in component.mi_sets
             if len(group) >= 2 and not group & poisoned
         ]
-        if not groups:
-            return 1
         usable = sorted(component.problematic - poisoned)
+        return groups, usable
+
+    def _iter_component_mcs(
+        self,
+        groups: list[frozenset[int]],
+        usable: list[int],
+        deadline=None,
+    ) -> Iterator[frozenset[int]]:
         if all(len(group) == 2 for group in groups):
             edges = [tuple(sorted(group)) for group in groups]
-            return count_maximal_independent_sets(
-                usable, edges, limit=self.enumeration_limit
+            yield from maximal_independent_sets(
+                usable, edges, limit=self.enumeration_limit, deadline=deadline
             )
-        return sum(
-            1
-            for _ in maximal_sets_avoiding(
-                usable, groups, limit=self.enumeration_limit
+        else:
+            yield from maximal_sets_avoiding(
+                usable, groups, limit=self.enumeration_limit, deadline=deadline
             )
-        )
+
+    def _count_component_mcs(self, component: ViolationIndex) -> int:
+        """``|MC|`` restricted to one connected component's facts."""
+        groups, usable = self._component_core(component)
+        if not groups:
+            return 1
+        return sum(1 for _ in self._iter_component_mcs(groups, usable))
 
 
 class MaximalConsistentPrimeMeasure(MaximalConsistentMeasure):
@@ -92,3 +118,66 @@ class MaximalConsistentPrimeMeasure(MaximalConsistentMeasure):
 
     def finalize(self, combined: float, index: ViolationIndex) -> float:
         return combined + len(index.self_inconsistent) - 1.0
+
+
+# ----------------------------------------------------------------------
+# Anytime solver chain (active only under a budget scope)
+# ----------------------------------------------------------------------
+def _mcs_count_upper_bound(
+    groups: list[frozenset[int]], usable: list[int]
+) -> float:
+    """Upper bound on one component's ``|MC|``."""
+    if all(len(group) == 2 for group in groups):
+        # MIS count only depends on non-isolated vertices; Moon–Moser.
+        involved = {fact for group in groups for fact in group}
+        return anytime.moon_moser_bound(len(involved))
+    constrained = {fact for group in groups for fact in group}
+    return anytime.subset_count_bound(len(constrained))
+
+
+def _mc_exact_stage(measure, constraints, database, component, deadline):
+    """Deadline-aware exact enumeration; degrades to a partial-count bound.
+
+    Every maximal set yielded before the deadline is a distinct member of
+    ``MC``, so the partial count is a true lower bound; hitting the
+    ``enumeration_limit`` degrades the same way instead of raising.
+    """
+    faults.trip(anytime.FAULT_BACKEND)
+    groups, usable = measure._component_core(component)
+    if not groups:
+        return 1.0
+    counted = 0
+    try:
+        for _ in measure._iter_component_mcs(groups, usable, deadline):
+            counted += 1
+    except (anytime.SolveTimeout, EnumerationBudgetExceeded):
+        lower = float(max(counted, 1))
+        return anytime.bounded(
+            lower,
+            lower,
+            _mcs_count_upper_bound(groups, usable),
+            anytime.TIMEOUT,
+        )
+    return float(counted)
+
+
+def _mc_bounds_stage(measure, constraints, database, component, deadline):
+    """Terminal bounds-only stage: cannot time out, cannot fail.
+
+    Reached only when the exact stage crashed (a backend fault); the
+    runtime retags the FEASIBLE result as FALLBACK.
+    """
+    groups, usable = measure._component_core(component)
+    if not groups:
+        return 1.0
+    return anytime.bounded(
+        1.0, 1.0, _mcs_count_upper_bound(groups, usable), anytime.FEASIBLE
+    )
+
+
+anytime.register_chain(
+    MaximalConsistentMeasure.name, (_mc_exact_stage, _mc_bounds_stage)
+)
+anytime.register_chain(
+    MaximalConsistentPrimeMeasure.name, (_mc_exact_stage, _mc_bounds_stage)
+)

@@ -22,6 +22,13 @@ from ..constraints.base import Constraint
 from ..measures.base import InconsistencyMeasure
 from ..relational.database import Database
 from ..session import MeasurementSession, ShardedMeasurementSession, make_session
+from ..solvers.anytime import (
+    OPTIMAL,
+    as_budget,
+    solver_scope,
+    status_of,
+    worst_status,
+)
 from ..violations.minimal import ViolationIndex, build_violation_index
 from .operations import (
     DeleteOperation,
@@ -48,11 +55,17 @@ def information_loss(operation: Operation, database: Database) -> float:
 
 @dataclass
 class ScoredOperation:
-    """An operation with its measured effect."""
+    """An operation with its measured effect.
+
+    ``status`` is the worst solver status behind the before/after pair —
+    ``OPTIMAL`` means the reduction is exact; anything else means a
+    budgeted solve degraded and the reduction compares bounded estimates.
+    """
 
     operation: Operation
     inconsistency_reduction: float
     loss: float
+    status: str = OPTIMAL
 
     @property
     def benefit(self) -> float:
@@ -68,6 +81,7 @@ def score_operations(
     limit: int | None = None,
     index: ViolationIndex | None = None,
     session: MeasurementSession | ShardedMeasurementSession | None = None,
+    time_budget: float | None = None,
 ) -> list[ScoredOperation]:
     """Score every applicable operation, best benefit first.
 
@@ -83,18 +97,24 @@ def score_operations(
     A :class:`~repro.session.ShardedMeasurementSession` works the same way
     (candidates preview only on the shards they touch).  The session must
     own *database*.  *index* (copy path only) lets callers reuse a
-    precomputed violation index.
+    precomputed violation index.  *time_budget* (seconds) caps the solver
+    work per scoring pass; each :class:`ScoredOperation` then reports the
+    worst status behind its reduction.
     """
     system = system or subset_system()
     if session is not None:
         if session.database is not database:
             raise ValueError("session must own the database being scored")
-        current = session.measure(measure)
+        current = session.measure(measure, budget=time_budget)
         problematic = session.problematic_facts()
     else:
         if index is None:
             index = build_violation_index(constraints, database)
-        current = measure.value(constraints, database, index)
+        if time_budget is not None:
+            with solver_scope(as_budget(time_budget)):
+                current = measure.value(constraints, database, index)
+        else:
+            current = measure.value(constraints, database, index)
         problematic = index.problematic
     # Only operations touching problematic facts can reduce inconsistency
     # under anti-monotonic constraints; restrict the scan accordingly.
@@ -110,9 +130,17 @@ def score_operations(
         afters = [
             values[measure.name]
             for values in session.speculate_batch(
-                [[operation] for operation in candidates], [measure]
+                [[operation] for operation in candidates],
+                [measure],
+                budget=time_budget,
             )
         ]
+    elif time_budget is not None:
+        with solver_scope(as_budget(time_budget)):
+            afters = [
+                measure.value(constraints, operation.apply(database))
+                for operation in candidates
+            ]
     else:
         afters = [
             measure.value(constraints, operation.apply(database))
@@ -121,8 +149,9 @@ def score_operations(
     scored = [
         ScoredOperation(
             operation=operation,
-            inconsistency_reduction=current - after,
+            inconsistency_reduction=float(current) - float(after),
             loss=information_loss(operation, database),
+            status=worst_status((status_of(current), status_of(after))),
         )
         for operation, after in zip(candidates, afters)
     ]
@@ -132,12 +161,18 @@ def score_operations(
 
 @dataclass
 class ResolutionTrace:
-    """Outcome of a stepwise resolution run."""
+    """Outcome of a stepwise resolution run.
+
+    ``final_status`` qualifies ``final_inconsistency``: ``OPTIMAL`` for an
+    exact value, otherwise the status of the bounded estimate a budgeted
+    run ended on.
+    """
 
     steps: list[ScoredOperation]
     final_inconsistency: float
     total_loss: float
     consistent: bool
+    final_status: str = OPTIMAL
 
 
 def stepwise_resolve(
@@ -148,6 +183,7 @@ def stepwise_resolve(
     max_steps: int = 100,
     shards: str | None = None,
     warm_start=None,
+    time_budget: float | None = None,
 ) -> ResolutionTrace:
     """Greedy highest-benefit-first resolution (mutates a copy).
 
@@ -160,6 +196,8 @@ def stepwise_resolve(
     ``database.copy()`` (identifiers and allocator preserved), so one
     snapshot warms repeated trade-off runs — e.g. the same base resolved
     under several measures (mismatches cold-build; traces identical).
+    *time_budget* (seconds) caps the solver work of every scoring round;
+    the steps (and the trace's final value) then carry solver statuses.
     """
     system = system or subset_system()
     working = database.copy()
@@ -177,7 +215,12 @@ def stepwise_resolve(
             if session.is_consistent():
                 break
             candidates = score_operations(
-                measure, constraints, working, system, session=session
+                measure,
+                constraints,
+                working,
+                system,
+                session=session,
+                time_budget=time_budget,
             )
             if not candidates or candidates[0].inconsistency_reduction <= 1e-12:
                 break
@@ -185,9 +228,11 @@ def stepwise_resolve(
             best.operation.apply_in_place(working)
             steps.append(best)
             total_loss += best.loss
+        final = session.measure(measure, budget=time_budget)
         return ResolutionTrace(
             steps=steps,
-            final_inconsistency=session.measure(measure),
+            final_inconsistency=float(final),
             total_loss=total_loss,
             consistent=session.is_consistent(),
+            final_status=status_of(final),
         )

@@ -46,6 +46,14 @@ from ..measures.base import (
 )
 from ..relational.database import ChangeEvent, Database, Fact, Savepoint
 from ..relational.values import Value
+from ..solvers.anytime import (
+    OPTIMAL,
+    as_budget,
+    current_scope,
+    registered_chain,
+    solver_scope,
+    status_of,
+)
 from ..violations.minimal import ViolationIndex, lower_constraints
 from ..violations.topology import (
     ComponentTopology,
@@ -170,6 +178,22 @@ def _merge_generic_batch(
     ]
 
 
+def _purge_degraded_parts(base: "_SpeculationBase") -> None:
+    """Drop base-part maps containing non-OPTIMAL (budget-degraded) values.
+
+    The speculation base memoizes per-component values across scoring
+    rounds keyed on topology generation; values produced under a tight
+    budget are bounds, not exact values, and must never be replayed into a
+    later unbudgeted round.
+    """
+    for measure in list(base.parts):
+        if any(
+            status_of(value) != OPTIMAL
+            for value in base.parts[measure].values()
+        ):
+            del base.parts[measure]
+
+
 class _SpeculationBase:
     """Identity-pinned base snapshot for one batched scoring round.
 
@@ -214,9 +238,16 @@ class MeasurementSession:
         warm_start: SessionSnapshot | None = None,
         warm_fingerprint: DatabaseFingerprint | None = None,
         engine: str = "auto",
+        time_budget: float | None = None,
     ) -> None:
         self.constraints = list(constraints)
         self.database = database
+        #: Default per-call solver budget in seconds (None = exact).  Each
+        #: budgeted entry point coerces it to a fresh
+        #: :class:`~repro.solvers.anytime.Budget` at call time, so the
+        #: clock starts when the call does; an explicit ``budget=`` always
+        #: wins.
+        self.time_budget = time_budget
         self.dcs: list[DenialConstraint] = (
             list(dcs)
             if dcs is not None
@@ -327,23 +358,75 @@ class MeasurementSession:
             self._flush()
         return self.topology.problematic()
 
-    def measure(self, measure) -> float:
+    def measure(self, measure, *, budget=None) -> float:
         """Evaluate one measure against the maintained state.
 
         Component-wise measures read the topology directly — per-component
         values through the session's
         :class:`~repro.measures.base.ComponentValueCache`, no full-index
         assembly at all; whole-database measures get the assembled index.
+
+        *budget* (seconds or a :class:`~repro.solvers.anytime.Budget`)
+        bounds the hard per-component solves: within it, results are the
+        historical exact values; beyond it they degrade to
+        :class:`~repro.solvers.anytime.BoundedValue` with honest bounds and
+        a non-OPTIMAL status.  ``None`` (the default) is exact and
+        bit-identical to every prior release.
         """
+        budget = self._call_budget(budget)
         if not isinstance(measure, ComponentwiseMeasure):
-            return measure.value(self.constraints, self.database, self.index())
+            with solver_scope(budget):
+                return measure.value(
+                    self.constraints, self.database, self.index()
+                )
         if self._dirty:
             self._flush()
-        return self._componentwise_value(measure)
+        if budget is None:
+            return self._componentwise_value(measure)
+        with solver_scope(budget, plan=self._solve_plan([measure])):
+            return self._componentwise_value(measure)
 
-    def measure_all(self, measures: Iterable) -> dict[str, float]:
-        """Evaluate a batch of measures sharing the maintained state."""
-        return {measure.name: self.measure(measure) for measure in measures}
+    def measure_all(self, measures: Iterable, *, budget=None) -> dict[str, float]:
+        """Evaluate a batch of measures sharing the maintained state.
+
+        One *budget* covers the whole batch: the remaining time is sliced
+        across the hard component solves still ahead, so a single
+        pathological component cannot starve the other measures.
+        """
+        measures = list(measures)
+        budget = self._call_budget(budget)
+        if budget is None:
+            return {measure.name: self.measure(measure) for measure in measures}
+        if self._dirty:
+            self._flush()
+        with solver_scope(budget, plan=self._solve_plan(measures)):
+            return {measure.name: self.measure(measure) for measure in measures}
+
+    def _call_budget(self, budget):
+        """The effective budget for one call (explicit beats the default).
+
+        Inside an already-active solver scope a defaulted call opens no new
+        scope — the outer budgeted call owns the time slicing (this is how
+        ``measure_all``'s one budget covers its inner ``measure`` calls
+        without each re-starting the session default).
+        """
+        if budget is None:
+            if current_scope() is not None:
+                return None
+            budget = self.time_budget
+        return as_budget(budget)
+
+    def _solve_plan(self, measures: Sequence) -> int | None:
+        """Estimated hard component solves ahead (budget slicing hint)."""
+        hard = sum(
+            1
+            for measure in measures
+            if isinstance(measure, ComponentwiseMeasure)
+            and registered_chain(measure.name) is not None
+        )
+        if not hard:
+            return None
+        return max(1, hard * len(self.topology._components))
 
     def refresh(self) -> ViolationIndex:
         """Force a from-scratch rebuild (a cross-check tool, not a hot path)."""
@@ -466,7 +549,9 @@ class MeasurementSession:
         """
         return self.database.savepoint()
 
-    def speculate(self, operations: Iterable, measures: Iterable) -> dict[str, float]:
+    def speculate(
+        self, operations: Iterable, measures: Iterable, *, budget=None
+    ) -> dict[str, float]:
         """Measure values *as if* *operations* had been applied — copy-free.
 
         Applies the operations in place under a savepoint, flushes the
@@ -485,33 +570,42 @@ class MeasurementSession:
         component-wise majority keeps the localized path.  Scoring many
         candidates against one base state is cheaper through
         :meth:`speculate_batch`.
+
+        *budget* bounds the hard per-component solves exactly as in
+        :meth:`measure` — degraded values carry bounds and status, and are
+        never memoized anywhere the unbudgeted paths could later read.
         """
         measures = list(measures)
         operations = list(operations)
+        budget = self._call_budget(budget)
         fast, generic = _split_measures(measures)
         if not fast:
-            return _generic_speculation(self, operations, measures)
+            with solver_scope(budget):
+                return _generic_speculation(self, operations, measures)
         if self._dirty:
             self._flush()
-        with self.savepoint():
-            for operation in operations:
-                operation.apply_in_place(self.database)
-            if self._dirty:
-                self._flush()
-            values = {
-                measure.name: self._componentwise_value(measure)
-                for measure in fast
-            }
-            if generic:
-                values.update(_generic_values(self, generic))
-            return {measure.name: values[measure.name] for measure in measures}
+        with solver_scope(budget, plan=self._solve_plan(measures)):
+            with self.savepoint():
+                for operation in operations:
+                    operation.apply_in_place(self.database)
+                if self._dirty:
+                    self._flush()
+                values = {
+                    measure.name: self._componentwise_value(measure)
+                    for measure in fast
+                }
+                if generic:
+                    values.update(_generic_values(self, generic))
+                return {
+                    measure.name: values[measure.name] for measure in measures
+                }
 
     def speculate_value(self, operations: Iterable, measure) -> float:
         """One-measure :meth:`speculate` (the candidate-scoring hot path)."""
         return self.speculate(operations, (measure,))[measure.name]
 
     def speculate_batch(
-        self, candidates: Iterable[Iterable], measures: Iterable
+        self, candidates: Iterable[Iterable], measures: Iterable, *, budget=None
     ) -> list[dict[str, float]]:
         """Score a whole candidate set against the current base state.
 
@@ -536,23 +630,36 @@ class MeasurementSession:
         """
         candidates = [list(operations) for operations in candidates]
         measures = list(measures)
+        budget = self._call_budget(budget)
         if not candidates:
             return []
         fast, generic = _split_measures(measures)
         if not fast:
-            return [
-                _generic_speculation(self, operations, measures)
-                for operations in candidates
-            ]
+            with solver_scope(budget):
+                return [
+                    _generic_speculation(self, operations, measures)
+                    for operations in candidates
+                ]
         base = self._speculation_base()
-        self._prime_base(base, fast)
-        results: list[dict[str, float]] = []
-        for operations in candidates:
-            with self.savepoint() as savepoint:
-                for operation in operations:
-                    operation.apply_in_place(self.database)
-                touched = {event.identifier for event in savepoint.events}
-                results.append(self._preview_values(base, touched, fast))
+        with solver_scope(budget, plan=self._solve_plan(measures)):
+            try:
+                self._prime_base(base, fast)
+                results: list[dict[str, float]] = []
+                for operations in candidates:
+                    with self.savepoint() as savepoint:
+                        for operation in operations:
+                            operation.apply_in_place(self.database)
+                        touched = {
+                            event.identifier for event in savepoint.events
+                        }
+                        results.append(
+                            self._preview_values(base, touched, fast)
+                        )
+            finally:
+                # A budgeted round may have primed the memoized base with
+                # degraded parts; the snapshot outlives the scope, so purge
+                # them — later unbudgeted batches must re-solve exactly.
+                _purge_degraded_parts(base)
         # The batch never committed anything: every candidate's events were
         # rolled back (bit-identical database and equality index, by the
         # savepoint contract) and neither the stores nor the topology were
@@ -562,9 +669,10 @@ class MeasurementSession:
         # fact.
         self._dirty.clear()
         if generic:
-            results = _merge_generic_batch(
-                self, candidates, results, generic, measures
-            )
+            with solver_scope(budget):
+                results = _merge_generic_batch(
+                    self, candidates, results, generic, measures
+                )
         return results
 
     def _preview_values(

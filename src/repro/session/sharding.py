@@ -58,6 +58,15 @@ from ..measures.base import (
 from ..relational.database import ChangeEvent, Database, Fact, Savepoint
 from ..relational.schema import Schema
 from ..relational.values import Value
+from ..solvers.anytime import (
+    OPTIMAL,
+    as_budget,
+    current_scope,
+    registered_chain,
+    solver_scope,
+    status_of,
+)
+from ..testing import faults
 from ..violations.minimal import (
     ViolationIndex,
     _connected_groups,
@@ -70,6 +79,7 @@ from .session import (
     _generic_speculation,
     _generic_values,
     _merge_generic_batch,
+    _purge_degraded_parts,
     _split_measures,
 )
 from .snapshot import (
@@ -80,6 +90,10 @@ from .snapshot import (
 )
 
 _NO_REGION: frozenset[TopologyComponent] = frozenset()
+
+#: Fault-injection point: raised while forwarding a change event to the
+#: owning shard (see :mod:`repro.testing.faults`).
+FAULT_FANOUT = "shard.fanout"
 
 
 def relation_groups(dcs: Sequence, schema: Schema) -> list[tuple[str, ...]]:
@@ -148,9 +162,13 @@ class ShardedMeasurementSession:
         *,
         warm_start: ShardedSessionSnapshot | None = None,
         engine: str = "auto",
+        time_budget: float | None = None,
     ) -> None:
         self.constraints = list(constraints)
         self.database = database
+        #: Default per-call solver budget in seconds (None = exact); an
+        #: explicit ``budget=`` on a call always wins.
+        self.time_budget = time_budget
         #: Witness-enumeration backend, passed through to every shard.
         self.engine = engine
         # Lower once; shards receive pre-lowered subsets.
@@ -206,6 +224,11 @@ class ShardedMeasurementSession:
         self._shard_of_relation: dict[str, MeasurementSession] = {
             relation: self.shards[number] for relation, number in owner.items()
         }
+        self._shard_number: dict[str, int] = dict(owner)
+        # Shards whose fan-out raised mid-event: their maintained state may
+        # have missed the event, so they rebuild cold at the next flush
+        # instead of ever serving a stale answer.
+        self._degraded: set[int] = set()
         self._cached: ViolationIndex | None = None
         self._cached_key: tuple | None = None
         # Per-shard memoized (minimum, component, value) part streams,
@@ -382,16 +405,64 @@ class ShardedMeasurementSession:
             union.update(shard.topology.problematic())
         return union
 
-    def measure(self, measure) -> float:
-        """Evaluate one measure; component-wise ones merge shard streams."""
-        if not isinstance(measure, ComponentwiseMeasure):
-            return measure.value(self.constraints, self.database, self.index())
-        self._flush()
-        return self._componentwise_value(measure)
+    def measure(self, measure, *, budget=None) -> float:
+        """Evaluate one measure; component-wise ones merge shard streams.
 
-    def measure_all(self, measures: Iterable) -> dict[str, float]:
-        """Evaluate a batch of measures sharing the maintained state."""
-        return {measure.name: self.measure(measure) for measure in measures}
+        *budget* bounds the hard per-component solves exactly as on the
+        flat session — see :meth:`MeasurementSession.measure`.
+        """
+        budget = self._call_budget(budget)
+        if not isinstance(measure, ComponentwiseMeasure):
+            with solver_scope(budget):
+                return measure.value(
+                    self.constraints, self.database, self.index()
+                )
+        self._flush()
+        if budget is None:
+            return self._componentwise_value(measure)
+        with solver_scope(budget, plan=self._solve_plan([measure])):
+            return self._componentwise_value(measure)
+
+    def measure_all(self, measures: Iterable, *, budget=None) -> dict[str, float]:
+        """Evaluate a batch of measures sharing the maintained state.
+
+        One *budget* covers the whole batch, sliced across the hard
+        component solves of every shard.
+        """
+        measures = list(measures)
+        budget = self._call_budget(budget)
+        if budget is None:
+            return {measure.name: self.measure(measure) for measure in measures}
+        self._flush()
+        with solver_scope(budget, plan=self._solve_plan(measures)):
+            return {measure.name: self.measure(measure) for measure in measures}
+
+    def _call_budget(self, budget):
+        """The effective budget for one call (explicit beats the default).
+
+        Defers to an already-active scope exactly like the flat session —
+        see :meth:`MeasurementSession._call_budget`.
+        """
+        if budget is None:
+            if current_scope() is not None:
+                return None
+            budget = self.time_budget
+        return as_budget(budget)
+
+    def _solve_plan(self, measures: Sequence) -> int | None:
+        """Estimated hard component solves ahead, across all shards."""
+        hard = sum(
+            1
+            for measure in measures
+            if isinstance(measure, ComponentwiseMeasure)
+            and registered_chain(measure.name) is not None
+        )
+        if not hard:
+            return None
+        components = sum(
+            len(shard.topology._components) for shard in self.shards
+        )
+        return max(1, hard * components)
 
     def refresh(self) -> ViolationIndex:
         """Force a from-scratch rebuild of every shard (a cross-check tool).
@@ -415,7 +486,9 @@ class ShardedMeasurementSession:
     # ------------------------------------------------------------------
     # Speculative evaluation (what-if deltas)
     # ------------------------------------------------------------------
-    def speculate(self, operations: Iterable, measures: Iterable) -> dict[str, float]:
+    def speculate(
+        self, operations: Iterable, measures: Iterable, *, budget=None
+    ) -> dict[str, float]:
         """Measure values *as if* *operations* had been applied — copy-free.
 
         The sharded mirror of :meth:`MeasurementSession.speculate`: the
@@ -429,28 +502,33 @@ class ShardedMeasurementSession:
         """
         measures = list(measures)
         operations = list(operations)
+        budget = self._call_budget(budget)
         fast, generic = _split_measures(measures)
         if not fast:
-            return _generic_speculation(self, operations, measures)
+            with solver_scope(budget):
+                return _generic_speculation(self, operations, measures)
         self._flush()
-        with self.savepoint():
-            for operation in operations:
-                operation.apply_in_place(self.database)
-            self._flush()
-            values = {
-                measure.name: self._componentwise_value(measure)
-                for measure in fast
-            }
-            if generic:
-                values.update(_generic_values(self, generic))
-            return {measure.name: values[measure.name] for measure in measures}
+        with solver_scope(budget, plan=self._solve_plan(measures)):
+            with self.savepoint():
+                for operation in operations:
+                    operation.apply_in_place(self.database)
+                self._flush()
+                values = {
+                    measure.name: self._componentwise_value(measure)
+                    for measure in fast
+                }
+                if generic:
+                    values.update(_generic_values(self, generic))
+                return {
+                    measure.name: values[measure.name] for measure in measures
+                }
 
     def speculate_value(self, operations: Iterable, measure) -> float:
         """One-measure :meth:`speculate` (the candidate-scoring hot path)."""
         return self.speculate(operations, (measure,))[measure.name]
 
     def speculate_batch(
-        self, candidates: Iterable[Iterable], measures: Iterable
+        self, candidates: Iterable[Iterable], measures: Iterable, *, budget=None
     ) -> list[dict[str, float]]:
         """Score a whole candidate set against the current base state.
 
@@ -468,38 +546,52 @@ class ShardedMeasurementSession:
         """
         candidates = [list(operations) for operations in candidates]
         measures = list(measures)
+        budget = self._call_budget(budget)
         if not candidates:
             return []
         fast, generic = _split_measures(measures)
         if not fast:
-            return [
-                _generic_speculation(self, operations, measures)
-                for operations in candidates
-            ]
+            with solver_scope(budget):
+                return [
+                    _generic_speculation(self, operations, measures)
+                    for operations in candidates
+                ]
         base = self._speculation_base()
-        self._prime_base(base, fast)
-        results: list[dict[str, float]] = []
-        for operations in candidates:
-            with self.savepoint() as savepoint:
-                for operation in operations:
-                    operation.apply_in_place(self.database)
-                touched: dict[MeasurementSession, set[int]] = {}
-                for event in savepoint.events:
-                    for fact in (event.old, event.new):
-                        if fact is None:
-                            continue
-                        shard = self._shard_of_relation.get(fact.relation)
-                        if shard is not None:
-                            touched.setdefault(shard, set()).add(
-                                event.identifier
-                            )
-                results.append(self._preview_values(base, touched, fast))
+        with solver_scope(budget, plan=self._solve_plan(measures)):
+            try:
+                self._prime_base(base, fast)
+                results: list[dict[str, float]] = []
+                for operations in candidates:
+                    with self.savepoint() as savepoint:
+                        for operation in operations:
+                            operation.apply_in_place(self.database)
+                        touched: dict[MeasurementSession, set[int]] = {}
+                        for event in savepoint.events:
+                            for fact in (event.old, event.new):
+                                if fact is None:
+                                    continue
+                                shard = self._shard_of_relation.get(
+                                    fact.relation
+                                )
+                                if shard is not None:
+                                    touched.setdefault(shard, set()).add(
+                                        event.identifier
+                                    )
+                        results.append(
+                            self._preview_values(base, touched, fast)
+                        )
+            finally:
+                # The memoized cross-shard base outlives the scope; degraded
+                # (budget-bounded) parts must not leak into later unbudgeted
+                # rounds.
+                _purge_degraded_parts(base)
         for shard in self.shards:
             shard._dirty.clear()
         if generic:
-            results = _merge_generic_batch(
-                self, candidates, results, generic, measures
-            )
+            with solver_scope(budget):
+                results = _merge_generic_batch(
+                    self, candidates, results, generic, measures
+                )
         return results
 
     def stats(self) -> dict:
@@ -518,10 +610,29 @@ class ShardedMeasurementSession:
     def _on_change(self, event: ChangeEvent) -> None:
         fact = event.new if event.new is not None else event.old
         shard = self._shard_of_relation.get(fact.relation)
-        if shard is not None:
+        if shard is None:
+            return
+        try:
+            faults.trip(FAULT_FANOUT)
             shard._on_change(event)
+        except BaseException:
+            # The shard may have missed (or half-applied) the event; its
+            # maintained state can no longer be trusted.  Mark it for a
+            # cold rebuild at the next flush and let the error surface to
+            # the mutator — a lost delta degrades to recomputation, never
+            # to a stale answer.
+            self._degraded.add(self._shard_number[fact.relation])
+            raise
 
     def _flush(self) -> None:
+        if self._degraded:
+            degraded, self._degraded = self._degraded, set()
+            for number in sorted(degraded):
+                self.shards[number]._rebuild()
+                # The memoized part streams key on (topology, generation),
+                # so the fresh topology invalidates them; dropping the dict
+                # also unpins the retired topology's components.
+                self._parts[number] = {}
         for shard in self.shards:
             if shard._dirty:
                 shard._flush()
@@ -603,7 +714,10 @@ class ShardedMeasurementSession:
             )
             for component in topology.components()
         ]
-        memo[measure] = (topology, topology.generation, stream)
+        if all(status_of(value) == OPTIMAL for _, _, value in stream):
+            # Degraded (budget-bounded) parts are never memoized: the next
+            # read — possibly unbudgeted — must re-solve them exactly.
+            memo[measure] = (topology, topology.generation, stream)
         return stream
 
     def _componentwise_value(self, measure) -> float:
@@ -715,6 +829,7 @@ def make_session(
     shards: str | Iterable[Iterable[str]] | None = None,
     warm_start=None,
     engine: str = "auto",
+    time_budget: float | None = None,
 ):
     """A measurement session, sharded when *shards* asks for it.
 
@@ -729,12 +844,24 @@ def make_session(
     ordinary cold build.  *engine* selects the witness-enumeration backend
     (``"probe"`` | ``"batch"`` | ``"auto"``, see
     :mod:`repro.session.enumeration`); results are bit-identical whatever
-    the choice.
+    the choice.  *time_budget* (seconds) sets the session's default solver
+    budget: every ``measure``/``measure_all``/``speculate``/``speculate_batch``
+    call is budgeted unless it passes its own ``budget=``; ``None`` keeps
+    every call exact.
     """
     if shards is None:
         return MeasurementSession(
-            constraints, database, warm_start=warm_start, engine=engine
+            constraints,
+            database,
+            warm_start=warm_start,
+            engine=engine,
+            time_budget=time_budget,
         )
     return ShardedMeasurementSession(
-        constraints, database, shards=shards, warm_start=warm_start, engine=engine
+        constraints,
+        database,
+        shards=shards,
+        warm_start=warm_start,
+        engine=engine,
+        time_budget=time_budget,
     )

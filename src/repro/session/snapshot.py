@@ -26,10 +26,14 @@ ordinary cold build.  A warm start can be slower than hoped, but never a
 wrong answer.
 
 **On-disk format.**  :func:`save_snapshot` / :func:`load_snapshot` wrap the
-pickled snapshot in a magic header and an explicit format version;
-:func:`load_snapshot` raises :class:`SnapshotError` on foreign bytes or an
-unsupported version, and restoration rejects version drift even when the
-unpickle itself succeeds.
+pickled snapshot in a magic header, a SHA-256 payload digest and an
+explicit format version; :func:`load_snapshot` raises
+:class:`SnapshotError` on foreign bytes, a digest mismatch (truncation or
+bit rot anywhere past the magic) or an unsupported version, and
+restoration rejects version drift even when the unpickle itself succeeds.
+:func:`save_snapshot` writes atomically (temp file + rename), so a crash
+mid-write leaves the target absent or bit-identical to its previous
+content — a half-written snapshot can never shadow a good one.
 
 Sharded snapshots (:class:`ShardedSessionSnapshot`) compose per shard: one
 shared fingerprint, the coordinator's relation partition (revalidated on
@@ -42,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import io
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,13 +54,25 @@ from typing import Sequence
 
 from ..constraints.dc import DenialConstraint
 from ..relational.database import Database
+from ..testing import faults
 
-#: Bump on any change to the snapshot payload layout.  Loading rejects
-#: other versions outright — a stale format must fall back to a cold
-#: build, never be reinterpreted.
-SNAPSHOT_VERSION = 1
+#: Fault-injection point: a crash mid-write inside :func:`save_snapshot`
+#: (see :mod:`repro.testing.faults`).  Firing leaves a truncated prefix in
+#: the *temporary* file only; the target path keeps its prior content.
+FAULT_WRITE = "snapshot.write"
+
+#: Bump on any change to the snapshot payload layout or framing.  Loading
+#: rejects other versions outright — a stale format must fall back to a
+#: cold build, never be reinterpreted.  (2 added the payload digest.)
+SNAPSHOT_VERSION = 2
 
 _MAGIC = b"REPRO-SNAPSHOT\n"
+
+#: SHA-256 digest length — the digest sits between the magic and the
+#: pickled payload, so truncation or bit rot anywhere past the magic is a
+#: deterministic :class:`SnapshotError`, never a plausibly-unpickled
+#: snapshot carrying a silently corrupted value.
+_DIGEST_SIZE = hashlib.sha256().digest_size
 
 
 class SnapshotError(ValueError):
@@ -233,26 +250,33 @@ class _SnapshotUnpickler(pickle.Unpickler):
 
 
 def dump_snapshot(snapshot) -> bytes:
-    """Serialize a snapshot to versioned bytes (magic + version + pickle)."""
-    return _MAGIC + pickle.dumps(
+    """Serialize a snapshot (magic + payload digest + versioned pickle)."""
+    payload = pickle.dumps(
         (SNAPSHOT_VERSION, snapshot), protocol=pickle.HIGHEST_PROTOCOL
     )
+    return _MAGIC + hashlib.sha256(payload).digest() + payload
 
 
 def load_snapshot_bytes(payload: bytes):
     """Deserialize snapshot bytes, rejecting foreign or drifted formats.
 
-    The unpickler is restricted to the snapshot's own data types, so bytes
-    that merely carry the magic header cannot smuggle in executable
-    payloads — they raise :class:`SnapshotError` like any other corrupt
-    file, and every caller's fallback is the ordinary cold build.
+    The digest check rejects truncation and bit rot anywhere past the
+    magic before anything is unpickled, and the unpickler is restricted to
+    the snapshot's own data types, so bytes that merely carry the magic
+    header cannot smuggle in executable payloads — they raise
+    :class:`SnapshotError` like any other corrupt file, and every caller's
+    fallback is the ordinary cold build.
     """
     if not payload.startswith(_MAGIC):
         raise SnapshotError("not a repro session snapshot")
+    digest = payload[len(_MAGIC) : len(_MAGIC) + _DIGEST_SIZE]
+    body = payload[len(_MAGIC) + _DIGEST_SIZE :]
+    if hashlib.sha256(body).digest() != digest:
+        raise SnapshotError(
+            "snapshot payload digest mismatch (truncated or corrupt file)"
+        )
     try:
-        version, snapshot = _SnapshotUnpickler(
-            io.BytesIO(payload[len(_MAGIC) :])
-        ).load()
+        version, snapshot = _SnapshotUnpickler(io.BytesIO(body)).load()
     except SnapshotError:
         raise
     except Exception as error:
@@ -266,9 +290,33 @@ def load_snapshot_bytes(payload: bytes):
 
 
 def save_snapshot(snapshot, path) -> Path:
-    """Write a snapshot to *path*; returns the path."""
+    """Atomically write a snapshot to *path*; returns the path.
+
+    The payload goes to a sibling temporary file first and is renamed over
+    the target only once fully written and flushed, so a crash at any point
+    mid-write leaves *path* either absent or with its previous bit-identical
+    content — a half-written snapshot can never shadow a good one.  (A
+    truncated *temporary* file may survive a real crash; it fails the magic
+    or unpickle check on load and falls back to a cold build.)
+    """
     path = Path(path)
-    path.write_bytes(dump_snapshot(snapshot))
+    payload = dump_snapshot(snapshot)
+    temp = path.with_name(path.name + ".tmp")
+    try:
+        with open(temp, "wb") as handle:
+            if faults.fires(FAULT_WRITE):
+                handle.write(payload[: max(1, len(payload) // 2)])
+                raise faults.active_plan().error_for(FAULT_WRITE)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            temp.unlink()
+        except OSError:
+            pass
+        raise
     return path
 
 

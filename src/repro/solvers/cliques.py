@@ -9,7 +9,11 @@ conflicts involve three or more facts.
 
 Counting maximal independent sets is #P-complete, so the enumerators accept
 a budget: exceeding it raises :class:`EnumerationBudgetExceeded`, which is
-how the benchmarks reproduce the paper's I_MC timeouts.
+how the benchmarks reproduce the paper's I_MC timeouts.  They also accept an
+optional *deadline* (any object with a ``check()`` raising on expiry — in
+practice :class:`repro.solvers.anytime.Deadline`); the anytime runtime uses
+it to interrupt an enumeration mid-search after a known number of yields,
+which is exactly a lower bound on the final count.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ def maximal_cliques(
     vertices: Sequence[Vertex],
     adjacency: Mapping[Vertex, set[Vertex]],
     limit: int | None = None,
+    deadline=None,
 ) -> Iterator[frozenset[Vertex]]:
     """Enumerate maximal cliques (Bron–Kerbosch with Tomita pivoting)."""
     produced = 0
@@ -41,6 +46,8 @@ def maximal_cliques(
         clique: set[Vertex], candidates: set[Vertex], excluded: set[Vertex]
     ) -> Iterator[frozenset[Vertex]]:
         nonlocal produced
+        if deadline is not None:
+            deadline.check()
         if not candidates and not excluded:
             produced += 1
             if limit is not None and produced > limit:
@@ -70,6 +77,7 @@ def maximal_independent_sets(
     vertices: Sequence[Vertex],
     edges: Iterable[tuple[Vertex, Vertex]],
     limit: int | None = None,
+    deadline=None,
 ) -> Iterator[frozenset[Vertex]]:
     """Enumerate maximal independent sets of a graph via complement cliques."""
     vertex_list = list(vertices)
@@ -83,22 +91,31 @@ def maximal_independent_sets(
     complement = {
         v: vertex_set - adjacency[v] - {v} for v in vertex_list
     }
-    yield from maximal_cliques(vertex_list, complement, limit=limit)
+    yield from maximal_cliques(
+        vertex_list, complement, limit=limit, deadline=deadline
+    )
 
 
 def count_maximal_independent_sets(
     vertices: Sequence[Vertex],
     edges: Iterable[tuple[Vertex, Vertex]],
     limit: int | None = None,
+    deadline=None,
 ) -> int:
     """Count maximal independent sets (the I_MC workhorse)."""
-    return sum(1 for _ in maximal_independent_sets(vertices, edges, limit=limit))
+    return sum(
+        1
+        for _ in maximal_independent_sets(
+            vertices, edges, limit=limit, deadline=deadline
+        )
+    )
 
 
 def maximal_sets_avoiding(
     elements: Sequence[Vertex],
     forbidden: Sequence[frozenset[Vertex]],
     limit: int | None = None,
+    deadline=None,
 ) -> Iterator[frozenset[Vertex]]:
     """Enumerate maximal subsets containing no *forbidden* set (hypergraph MIS).
 
@@ -114,7 +131,7 @@ def maximal_sets_avoiding(
     produced = 0
     seen: set[frozenset[Vertex]] = set()
 
-    core_sets = _enumerate_core(constrained, list(forbidden))
+    core_sets = _enumerate_core(constrained, list(forbidden), deadline)
     for core in core_sets:
         result = frozenset(core | set(free))
         if result in seen:
@@ -127,7 +144,9 @@ def maximal_sets_avoiding(
 
 
 def _enumerate_core(
-    elements: list[Vertex], forbidden: list[frozenset[Vertex]]
+    elements: list[Vertex],
+    forbidden: list[frozenset[Vertex]],
+    deadline=None,
 ) -> Iterator[set[Vertex]]:
     """All maximal independent sets of the hypergraph on *elements*.
 
@@ -145,6 +164,8 @@ def _enumerate_core(
         return not violates(trial)
 
     def walk(index: int, chosen: set[Vertex], excluded: list[Vertex]):
+        if deadline is not None:
+            deadline.check()
         if violates(chosen):
             return
         if index == n:

@@ -13,7 +13,11 @@ every minimal inconsistent subset:
 
 Both paths are exact.  A node budget guards against adversarial instances
 (the problem is NP-hard — Theorem 1); exceeding it raises
-:class:`~repro.solvers.ilp.BudgetExceeded`.
+:class:`~repro.solvers.ilp.BudgetExceeded`.  An optional *deadline* (any
+object with a ``check()`` raising on expiry — in practice
+:class:`repro.solvers.anytime.Deadline`) is polled at every branch node so
+the anytime runtime can interrupt a solve wall-clock-fairly; the greedy
+incumbent found before the interrupt remains a valid upper bound.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ def minimum_hitting_set(
     sets: Sequence[frozenset[Element]],
     weights: Mapping[Element, float] | None = None,
     max_nodes: int = 500_000,
+    deadline=None,
 ) -> tuple[float, set[Element]]:
     """Exact minimum-weight hitting set of *sets*.
 
@@ -60,9 +65,13 @@ def minimum_hitting_set(
         return _total(forced, weight_of), set(forced)
 
     if all(len(group) == 2 for group in remaining):
-        value, cover = _exact_vertex_cover(remaining, weight_of, max_nodes)
+        value, cover = _exact_vertex_cover(
+            remaining, weight_of, max_nodes, deadline
+        )
     else:
-        value, cover = _exact_hitting_set(remaining, weight_of, max_nodes)
+        value, cover = _exact_hitting_set(
+            remaining, weight_of, max_nodes, deadline
+        )
     cover |= forced
     return _total(cover, weight_of), cover
 
@@ -97,6 +106,7 @@ def _exact_vertex_cover(
     pair_sets: Sequence[frozenset[Element]],
     weight_of: Mapping[Element, float],
     max_nodes: int,
+    deadline=None,
 ) -> tuple[float, set[Element]]:
     edges = []
     for group in pair_sets:
@@ -117,7 +127,9 @@ def _exact_vertex_cover(
         if u in zeros or v in zeros:
             raise AssertionError("NT kernel left an uncovered edge with a 0-vertex")
     for component in _components(kernel_edges):
-        component_cover = _branch_vertex_cover(component, weight_of, max_nodes)
+        component_cover = _branch_vertex_cover(
+            component, weight_of, max_nodes, deadline
+        )
         cover |= component_cover
     return _total(cover, weight_of), cover
 
@@ -149,6 +161,7 @@ def _branch_vertex_cover(
     edges: list[tuple[Element, Element]],
     weight_of: Mapping[Element, float],
     max_nodes: int,
+    deadline=None,
 ) -> set[Element]:
     """Exact min-weight VC of one connected kernel component by branching.
 
@@ -184,6 +197,8 @@ def _branch_vertex_cover(
             raise BudgetExceeded(
                 f"vertex-cover branching exceeded {max_nodes} nodes"
             )
+        if deadline is not None:
+            deadline.check()
         # Eliminate degree-1 vertices greedily: cover with the neighbour
         # (optimal when weights are uniform on the pair; in the weighted case
         # take whichever endpoint is cheaper-and-covers-at-least-as-much, so
@@ -228,6 +243,7 @@ def _exact_hitting_set(
     sets: Sequence[frozenset[Element]],
     weight_of: Mapping[Element, float],
     max_nodes: int,
+    deadline=None,
 ) -> tuple[float, set[Element]]:
     best_cover = greedy_hitting_set(sets, weight_of)
     best_value = _total(best_cover, weight_of)
@@ -239,6 +255,8 @@ def _exact_hitting_set(
         nodes[0] += 1
         if nodes[0] > max_nodes:
             raise BudgetExceeded(f"hitting-set branching exceeded {max_nodes} nodes")
+        if deadline is not None:
+            deadline.check()
         if chosen_weight >= best_value - 1e-12:
             return
         uncovered = None

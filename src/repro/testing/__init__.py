@@ -1,0 +1,25 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection layer the
+degradation drills build on; it lives in the package (not under ``tests/``)
+because the injection *points* are calls inside production modules and the
+arming API must be importable wherever the code under test runs.
+"""
+
+from .faults import (
+    FaultInjected,
+    active_plan,
+    fault_plan,
+    fires,
+    inject,
+    trip,
+)
+
+__all__ = [
+    "FaultInjected",
+    "active_plan",
+    "fault_plan",
+    "fires",
+    "inject",
+    "trip",
+]

@@ -1,0 +1,202 @@
+"""Deterministic fault injection for graceful-degradation drills.
+
+The anytime solver runtime promises that every hard failure mode lands in a
+*defined* state: a solver missing its deadline degrades to bounds with an
+honest status, a solver backend crashing mid-solve falls through the chain,
+a snapshot interrupted mid-write never corrupts the target file, a shard
+raising during fan-out self-heals with a rebuild on the next read.  Those
+promises are only worth anything if the paths actually run, so production
+code marks each of them with a **named injection point** and the drill
+suite arms the points deterministically.
+
+Injection points are free when disarmed: :func:`fires` / :func:`trip` check
+one module-level reference and return immediately when no plan is active
+(the common case — production runs never arm anything).
+
+Two arming styles:
+
+* **Targeted** — ``with inject("solver.backend"):`` arms one point so its
+  next occurrence fires (``after=``/``times=`` select later or repeated
+  occurrences); deterministic by construction.
+* **Seed-driven** — ``with fault_plan(seed, rates={"solver.deadline": 0.3})``
+  draws an independent, seeded decision stream *per point*, so a randomized
+  drill fires each point on a reproducible subset of its occurrences and a
+  red run is one seed away from a local repro.
+
+Points currently wired into production code:
+
+``solver.deadline``
+    Forces the anytime runtime's deadline check to report expiry — the
+    "solver budget exceeded" degradation without having to burn wall-clock.
+``solver.backend``
+    Raises at the entry of an exact solver stage — the "backend crashed
+    mid-solve" degradation; the chain must fall through to bounds.
+``snapshot.write``
+    Fires inside :func:`~repro.session.snapshot.save_snapshot` after a
+    truncated prefix of the payload has been written to the *temporary*
+    file — the "crash mid-write" drill; the target path must be left
+    either absent or with its previous bit-identical content.
+``shard.fanout``
+    Raises while the sharded coordinator forwards a change event to the
+    owning shard — the shard marks itself degraded and rebuilds cold on
+    the next read instead of serving a stale answer.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Callable, Iterator, Mapping
+
+
+class FaultInjected(RuntimeError):
+    """The default error raised by an armed hard injection point."""
+
+
+class _Arm:
+    """One armed point: skip the first *after* occurrences, fire *times*."""
+
+    __slots__ = ("after", "times", "error", "seen", "fired")
+
+    def __init__(
+        self,
+        after: int,
+        times: int | None,
+        error: Callable[[str], BaseException] | None,
+    ) -> None:
+        self.after = after
+        self.times = times
+        self.error = error
+        self.seen = 0
+        self.fired = 0
+
+    def should_fire(self) -> bool:
+        occurrence = self.seen
+        self.seen += 1
+        if occurrence < self.after:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """Which injection points fire, and on which occurrences.
+
+    Combines targeted arms (:meth:`arm`) with seed-driven rates: each point
+    named in *rates* gets its own ``random.Random`` stream derived from
+    ``(seed, point)``, so adding or reordering *other* points never changes
+    a point's firing pattern.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Mapping[str, float] | None = None,
+    ) -> None:
+        self.seed = seed
+        self._arms: dict[str, _Arm] = {}
+        self._rates = dict(rates or {})
+        self._streams: dict[str, random.Random] = {}
+        #: point → occurrences that actually fired (drill assertions).
+        self.fired: dict[str, int] = {}
+
+    def arm(
+        self,
+        point: str,
+        *,
+        after: int = 0,
+        times: int | None = 1,
+        error: Callable[[str], BaseException] | None = None,
+    ) -> None:
+        """Arm *point*: skip *after* occurrences, then fire *times* times.
+
+        ``times=None`` fires on every occurrence past *after*.  *error*
+        builds the exception hard points raise (default
+        :class:`FaultInjected`).
+        """
+        self._arms[point] = _Arm(after, times, error)
+
+    def decide(self, point: str) -> bool:
+        """Whether this occurrence of *point* fires (advances the streams)."""
+        arm = self._arms.get(point)
+        if arm is not None and arm.should_fire():
+            self.fired[point] = self.fired.get(point, 0) + 1
+            return True
+        rate = self._rates.get(point)
+        if rate:
+            stream = self._streams.get(point)
+            if stream is None:
+                stream = random.Random(f"{self.seed}:{point}")
+                self._streams[point] = stream
+            if stream.random() < rate:
+                self.fired[point] = self.fired.get(point, 0) + 1
+                return True
+        return False
+
+    def error_for(self, point: str) -> BaseException:
+        arm = self._arms.get(point)
+        if arm is not None and arm.error is not None:
+            return arm.error(point)
+        return FaultInjected(f"injected fault at {point!r}")
+
+
+#: The active plan, or None (the production state — zero-cost checks).
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently armed :class:`FaultPlan`, if any."""
+    return _ACTIVE
+
+
+def fires(point: str) -> bool:
+    """Whether the armed plan fires this occurrence of a *soft* point.
+
+    Soft points degrade by flag — e.g. the deadline check treats a firing
+    as "budget exhausted" — rather than by raising.
+    """
+    plan = _ACTIVE
+    return plan is not None and plan.decide(point)
+
+
+def trip(point: str) -> None:
+    """Raise the armed error at a *hard* point when the plan fires."""
+    plan = _ACTIVE
+    if plan is not None and plan.decide(point):
+        raise plan.error_for(point)
+
+
+@contextmanager
+def fault_plan(
+    seed: int = 0, rates: Mapping[str, float] | None = None
+) -> Iterator[FaultPlan]:
+    """Activate a seed-driven :class:`FaultPlan` for the ``with`` body.
+
+    Plans do not nest (a drill owns the process-wide failure model);
+    activating inside an active plan raises.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault plan is already active")
+    plan = FaultPlan(seed, rates)
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None
+
+
+@contextmanager
+def inject(
+    point: str,
+    *,
+    after: int = 0,
+    times: int | None = 1,
+    error: Callable[[str], BaseException] | None = None,
+) -> Iterator[FaultPlan]:
+    """Arm a single point for the ``with`` body (targeted drill form)."""
+    with fault_plan() as plan:
+        plan.arm(point, after=after, times=times, error=error)
+        yield plan

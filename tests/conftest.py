@@ -6,15 +6,26 @@ session seed and its node id, so a whole run is reproduced by a single
 number, yet no two cases (or parametrizations) share a stream.  On
 failure the seeds are echoed in the report, so a red randomized run is
 one ``--repro-seed N`` away from a local repro.
+
+Every test also runs under a wall-clock ceiling (``REPRO_TEST_TIMEOUT``
+seconds, default 300): a hung solver fails one test with a timeout instead
+of wedging the whole run.  When ``pytest-timeout`` is installed (the CI
+configuration, see the ``timeout`` extra in setup.py) its ceiling is armed;
+otherwise a SIGALRM-based fallback covers the main thread on platforms
+that have it.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import signal
 import zlib
 
 import pytest
+
+#: Per-test wall-clock ceiling in seconds (0 disables it).
+_TEST_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
 
 from repro.constraints import FunctionalDependency, parse_dc
 from repro.datasets.example1 import (
@@ -53,6 +64,51 @@ def pytest_configure(config) -> None:
     if seed is None:
         seed = int(os.environ.get("REPRO_SEED", _DEFAULT_SEED))
     config._repro_session_seed = seed
+    if config.pluginmanager.hasplugin("timeout"):
+        # pytest-timeout installed: arm its per-test ceiling unless the
+        # invocation already chose one (--timeout wins over the default).
+        if _TEST_TIMEOUT and not getattr(config.option, "timeout", None):
+            config.option.timeout = _TEST_TIMEOUT
+    else:
+        # Register the marker pytest-timeout would own, so per-test
+        # overrides stay valid (and honored by the fallback below).
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock ceiling "
+            "(SIGALRM fallback when pytest-timeout is not installed)",
+        )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM per-test ceiling when pytest-timeout is not installed.
+
+    Main-thread only (SIGALRM's scope) and unix-only — exactly the hang
+    class the anytime-solver suites can produce.  ``timeout(0)`` markers
+    opt a test out; integer alarms round the ceiling up to a whole second.
+    """
+    if item.config.pluginmanager.hasplugin("timeout") or not hasattr(
+        signal, "SIGALRM"
+    ):
+        return (yield)
+    marker = item.get_closest_marker("timeout")
+    ceiling = marker.args[0] if marker and marker.args else _TEST_TIMEOUT
+    if not ceiling:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {ceiling}s per-test wall-clock ceiling "
+            "(REPRO_TEST_TIMEOUT overrides it)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(max(1, int(ceiling)))
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def derive_case_seed(session_seed: int, node_id: str) -> int:

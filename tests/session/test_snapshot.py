@@ -283,6 +283,72 @@ class TestFallback:
             load_snapshot_bytes(hostile)
         assert not flag.exists()
 
+    def test_truncated_file_rejected_at_every_length(
+        self, tmp_path, simple_schema
+    ):
+        """A partially written snapshot file (power loss, full disk) must
+        raise SnapshotError — at any truncation point — never restore a
+        partial state."""
+        database, constraints = self._setup(simple_schema)
+        path = tmp_path / "state.snap"
+        with MeasurementSession(constraints, database) as session:
+            session.measure_all(make_measures(("I_MI", "I_R")))
+            save_snapshot(session.snapshot(), path)
+        payload = path.read_bytes()
+        # Mid-magic, just past the magic, mid-digest, and mid-payload.
+        for cut in (4, 15, 30, 60, len(payload) // 2, len(payload) - 1):
+            path.write_bytes(payload[:cut])
+            with pytest.raises(SnapshotError):
+                load_snapshot(path)
+
+    def test_flipped_bytes_past_magic_rejected(self, tmp_path, simple_schema):
+        """Bit rot anywhere past the magic header — the digest, the
+        version, a pickled cached value — must be a deterministic
+        SnapshotError, never a plausibly-restored snapshot carrying a
+        silently wrong value."""
+        database, constraints = self._setup(simple_schema)
+        path = tmp_path / "state.snap"
+        with MeasurementSession(constraints, database) as session:
+            session.measure_all(make_measures(("I_MI", "I_R")))
+            save_snapshot(session.snapshot(), path)
+        payload = bytearray(path.read_bytes())
+        magic_len = len(b"REPRO-SNAPSHOT\n")
+        step = max(1, (len(payload) - magic_len) // 16)
+        for position in range(magic_len, len(payload), step):
+            corrupted = bytearray(payload)
+            corrupted[position] ^= 0x40
+            path.write_bytes(bytes(corrupted))
+            with pytest.raises(SnapshotError):
+                load_snapshot(path)
+
+    def test_mid_write_crash_never_corrupts_the_target(
+        self, tmp_path, simple_schema
+    ):
+        """The crash-mid-write drill at the file level: the target is left
+        absent (fresh path) or bit-identical (existing path), and the next
+        save goes through; see also tests/session/test_faults.py."""
+        from repro.testing import faults
+        from repro.testing.faults import FaultInjected
+
+        database, constraints = self._setup(simple_schema)
+        path = tmp_path / "state.snap"
+        with MeasurementSession(constraints, database) as session:
+            snapshot = session.snapshot()
+        with faults.inject("snapshot.write"):
+            with pytest.raises(FaultInjected):
+                save_snapshot(snapshot, path)
+        assert not path.exists() and list(tmp_path.iterdir()) == []
+        save_snapshot(snapshot, path)
+        good = path.read_bytes()
+        with faults.inject("snapshot.write"):
+            with pytest.raises(FaultInjected):
+                save_snapshot(snapshot, path)
+        assert path.read_bytes() == good
+        with MeasurementSession(
+            constraints, database, warm_start=load_snapshot(path)
+        ) as restored:
+            assert restored.warm_started
+
     def test_sharded_partition_mismatch_falls_back(self):
         schema = Schema.from_dict(
             {"T0": ["A", "B", "C"], "T1": ["A", "B", "C"]}
