@@ -21,5 +21,10 @@ setup(
         # Per-test wall-clock ceilings in CI; tests/conftest.py falls back
         # to a SIGALRM-based ceiling when the plugin is not installed.
         "timeout": ["pytest-timeout"],
+        # Vectorized column kernels for the batch enumeration engine
+        # (repro/session/vectorized.py).  Witness families are bit-identical
+        # with and without it; absent numpy the session runs the pure-python
+        # list backend.  REPRO_VECTOR=auto|numpy|list overrides detection.
+        "vector": ["numpy>=1.24"],
     },
 )

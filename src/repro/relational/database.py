@@ -230,6 +230,14 @@ class Database:
         """``D[i]`` — the fact mapped to identifier *i*."""
         return self._facts[identifier]
 
+    def get(self, identifier: int) -> Fact | None:
+        """The fact mapped to *identifier*, or ``None`` when absent.
+
+        One dict probe where ``in`` + ``[]`` would cost two — the delta
+        enumeration paths group large dirty batches through this.
+        """
+        return self._facts.get(identifier)
+
     def ids(self) -> list[int]:
         """``ids(D)`` in ascending order (deterministic iteration)."""
         return sorted(self._facts)

@@ -36,10 +36,19 @@ Witness enumeration itself is a pluggable per-DC strategy
 the set-based batch-join backend, selected with ``engine="probe" | "batch"
 | "auto"`` on any session constructor and :func:`make_session` —
 bit-identical witness sets either way, with per-DC counters through
-``session.stats()``.
+``session.stats()``.  The batch backend itself runs on one of two column
+backends (:mod:`repro.session.columnar`): numpy-vectorized kernels over
+dictionary-encoded columns when numpy is importable, or the pure-python
+list store otherwise — pick explicitly with ``vector_backend=`` or the
+``REPRO_VECTOR`` environment variable.
 """
 
-from .columnar import ColumnStore, RelationColumns
+from .columnar import (
+    VECTOR_BACKEND,
+    ColumnStore,
+    RelationColumns,
+    make_column_store,
+)
 from .enumeration import (
     ENGINES,
     BatchEnumerator,
@@ -89,6 +98,7 @@ __all__ = [
     "ShardedMeasurementSession",
     "ShardedSessionSnapshot",
     "SnapshotError",
+    "VECTOR_BACKEND",
     "WitnessEnumerator",
     "WitnessStore",
     "batch_compilable",
@@ -98,6 +108,7 @@ __all__ = [
     "dump_snapshot",
     "equality_columns",
     "load_snapshot",
+    "make_column_store",
     "load_snapshot_bytes",
     "make_session",
     "relation_groups",

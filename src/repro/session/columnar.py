@@ -2,30 +2,107 @@
 
 The set-based enumeration backend (:mod:`repro.session.enumeration`) runs
 its compiled batch join plans over per-relation **column arrays** instead of
-per-tuple ``Fact`` probes: one parallel list per attribute, one list of fact
-identifiers, and grouped hash indexes ``value → row set`` for the columns
-the DCs join on.  Filters and join-key computations then reduce to list
-indexing in tight comprehensions — no ``Fact`` attribute resolution, no
-signature lookups, no per-tuple dict churn.
+per-tuple ``Fact`` probes: one parallel array per attribute, one array of
+fact identifiers, and grouped hash indexes ``value → row set`` for the
+columns the DCs join on.  Filters and join-key computations then reduce to
+array indexing — no ``Fact`` attribute resolution, no signature lookups, no
+per-tuple dict churn.
+
+Two backends implement the same registration/maintenance surface:
+
+* :class:`ColumnStore` (this module) — pure-python lists and dict group
+  indexes.  Always available; the reference fallback.
+* :class:`~repro.session.vectorized.VectorColumnStore` — numpy-backed
+  contiguous columns with **dictionary-encoded join keys** (value → dense
+  int code per shared join-class), tombstone bitmaps and amortized
+  geometric growth.  Selected per process at import when numpy is present
+  (the ``repro[vector]`` extra); override with ``REPRO_VECTOR=list`` /
+  ``numpy`` / ``auto``.
+
+Use :func:`make_column_store` to construct whichever backend is active;
+:data:`VECTOR_BACKEND` names the process-wide default.
 
 The store is **maintained**, not rebuilt: the owning session feeds it the
 same :class:`~repro.relational.database.ChangeEvent` stream that drives the
 equality-column index, so every enumeration (cold or delta, committed or
 inside a speculation savepoint) sees current state at O(1) amortized cost
-per mutation.  Deleted rows are tombstoned (identifier slot set to ``None``)
-and recycled through a free list, which keeps **row indices stable** — the
-grouped key indexes and any compiled plan state refer to rows by position
-and never need renumbering.
+per mutation.  Updates reuse the existing row slot in place; deleted rows
+are tombstoned (identifier slot set to ``None``) and recycled through a
+free list.  Row indices are stable between mutations — compiled plan state
+may cache them only within a single enumeration pass, because a
+**live-fraction compaction** renumbers rows (in place, preserving the
+object identity of every captured column list and group dict) once dead
+slots outnumber the configured fraction of a large relation.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 from ..relational.database import ChangeEvent, Database, Fact
 from ..relational.schema import Schema
 
 _NO_ROWS: frozenset[int] = frozenset()
+
+
+def _joinable(value) -> bool:
+    """NULLs and NaNs never satisfy an equality join.
+
+    Keeping them out of the group buckets matters for NaN in particular:
+    a dict would key a NaN *object* by identity, so the same object would
+    "equal" itself through a bucket while ``==`` (the probe reference's
+    verification, and IEEE semantics) says it does not.
+    """
+    return value is not None and value == value
+
+
+def _detect_backend() -> str:
+    """Resolve the process-wide column backend from env + availability.
+
+    ``REPRO_VECTOR`` ∈ {``auto`` (default), ``numpy``, ``list``}.  ``auto``
+    selects numpy exactly when it imports; ``numpy`` insists (raising if the
+    extra is absent); ``list`` forces the pure-python fallback.
+    """
+    choice = os.environ.get("REPRO_VECTOR", "auto").strip().lower()
+    if choice not in {"auto", "numpy", "list"}:
+        raise ValueError(
+            f"REPRO_VECTOR={choice!r}: expected 'auto', 'numpy' or 'list'"
+        )
+    if choice == "list":
+        return "list"
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        if choice == "numpy":
+            raise RuntimeError(
+                "REPRO_VECTOR=numpy but numpy is not importable; "
+                "install the repro[vector] extra"
+            ) from None
+        return "list"
+    return "numpy"
+
+
+#: The column backend this process selected at import ("numpy" or "list").
+VECTOR_BACKEND: str = _detect_backend()
+
+
+def make_column_store(schema: Schema, backend: str | None = None):
+    """Construct a column store for *schema* on the requested *backend*.
+
+    *backend* is ``"numpy"``, ``"list"`` or ``None`` (= the process default
+    :data:`VECTOR_BACKEND`).  Both backends expose the same registration and
+    maintenance surface; the batch plan compilers dispatch on
+    ``store.backend``.
+    """
+    chosen = VECTOR_BACKEND if backend is None else backend
+    if chosen == "list":
+        return ColumnStore(schema)
+    if chosen == "numpy":
+        from .vectorized import VectorColumnStore
+
+        return VectorColumnStore(schema)
+    raise ValueError(f"unknown column backend {chosen!r}")
 
 
 class RelationColumns:
@@ -61,10 +138,18 @@ class ColumnStore:
 
     Only the relations and attributes some batch-compiled DC actually reads
     are registered (:meth:`register`); grouped hash indexes are kept for the
-    columns registered as join keys (:meth:`register_key`).  Registration
-    happens before :meth:`build`; afterwards :meth:`apply` maintains
-    everything under the change feed.
+    columns registered as join keys (:meth:`register_key` /
+    :meth:`register_coded`).  Registration happens before :meth:`build`;
+    afterwards :meth:`apply` maintains everything under the change feed.
     """
+
+    #: Dispatch tag for the plan compilers (mirrored by VectorColumnStore).
+    backend = "list"
+
+    #: Relations smaller than this never compact (dead-slot scans are cheap).
+    COMPACT_MIN_SLOTS = 2048
+    #: Compact once live rows drop below this fraction of allocated slots.
+    COMPACT_LIVE_FRACTION = 0.5
 
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
@@ -120,6 +205,17 @@ class ColumnStore:
             (attribute, signature.index_of(attribute))
         )
 
+    def register_coded(self, pairs: Iterable[tuple[str, str]]) -> None:
+        """Register the columns of one coded comparison class.
+
+        The list backend compares raw values directly, so this just makes
+        sure the columns are stored; the numpy backend shares one value
+        dictionary across the class so equality and disequality compare
+        **codes** directly.
+        """
+        for relation, attribute in pairs:
+            self.register(relation, (attribute,))
+
     # ------------------------------------------------------------------
     # Build + maintenance
     # ------------------------------------------------------------------
@@ -130,10 +226,27 @@ class ColumnStore:
                 self._add(identifier, fact)
 
     def apply(self, event: ChangeEvent) -> None:
-        """Maintain the store after one committed database mutation."""
+        """Maintain the store after one committed database mutation.
+
+        In-place updates (same identifier, same relation, live row) rewrite
+        the existing slot instead of tombstone-and-append, so long update
+        streams do not grow the scan range at all.
+        """
         old, new = event.old, event.new
+        if (
+            old is not None
+            and new is not None
+            and old.relation == new.relation
+            and old.relation in self._relations
+        ):
+            table = self._relations[old.relation]
+            row = table.row_of.get(event.identifier)
+            if row is not None:
+                self._update(table, row, old, new)
+                return
         if old is not None and old.relation in self._relations:
             self._remove(event.identifier, old)
+            self._maybe_compact(self._relations[old.relation])
         if new is not None and new.relation in self._relations:
             self._add(event.identifier, new)
 
@@ -158,19 +271,32 @@ class ColumnStore:
     def has_relation(self, relation: str) -> bool:
         return relation in self._relations
 
+    def live_count(self, relation: str) -> int:
+        """Live cardinality of *relation* (0 when unregistered).
+
+        The batch compilers feed this to the planner's ``cost_of`` hook so
+        equality join orders visit small relations first.
+        """
+        table = self._relations.get(relation)
+        return len(table) if table is not None else 0
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _add(self, identifier: int, fact: Fact) -> None:
-        table = self._relations[fact.relation]
-        positions = self._positions.get(fact.relation)
+    def _positions_for(self, table: RelationColumns) -> list[tuple[str, int]]:
+        positions = self._positions.get(table.relation)
         if positions is None or len(positions) != len(table.attributes):
-            signature = self.schema.signature(fact.relation)
+            signature = self.schema.signature(table.relation)
             positions = [
                 (attribute, signature.index_of(attribute))
                 for attribute in table.attributes
             ]
-            self._positions[fact.relation] = positions
+            self._positions[table.relation] = positions
+        return positions
+
+    def _add(self, identifier: int, fact: Fact) -> None:
+        table = self._relations[fact.relation]
+        positions = self._positions_for(table)
         values = fact.values
         columns = table.columns
         if table.free:
@@ -185,9 +311,31 @@ class ColumnStore:
                 columns[attribute].append(values[position])
         table.row_of[identifier] = row
         for attribute, position in self._keys_by_relation.get(fact.relation, ()):
-            self._groups[(fact.relation, attribute)].setdefault(
-                values[position], set()
-            ).add(row)
+            value = values[position]
+            if _joinable(value):
+                self._groups[(fact.relation, attribute)].setdefault(
+                    value, set()
+                ).add(row)
+
+    def _update(self, table: RelationColumns, row: int, old: Fact, new: Fact) -> None:
+        positions = self._positions_for(table)
+        old_values, new_values = old.values, new.values
+        columns = table.columns
+        for attribute, position in positions:
+            columns[attribute][row] = new_values[position]
+        for attribute, position in self._keys_by_relation.get(table.relation, ()):
+            old_value = old_values[position]
+            new_value = new_values[position]
+            if old_value is new_value or old_value == new_value:
+                continue
+            buckets = self._groups[(table.relation, attribute)]
+            bucket = buckets.get(old_value) if _joinable(old_value) else None
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del buckets[old_value]
+            if _joinable(new_value):
+                buckets.setdefault(new_value, set()).add(row)
 
     def _remove(self, identifier: int, fact: Fact) -> None:
         table = self._relations[fact.relation]
@@ -195,11 +343,45 @@ class ColumnStore:
         if row is None:
             return
         for attribute, position in self._keys_by_relation.get(fact.relation, ()):
+            value = fact.values[position]
+            if not _joinable(value):
+                continue
             buckets = self._groups[(fact.relation, attribute)]
-            bucket = buckets.get(fact.values[position])
+            bucket = buckets.get(value)
             if bucket is not None:
                 bucket.discard(row)
                 if not bucket:
-                    del buckets[fact.values[position]]
+                    del buckets[value]
         table.ids[row] = None
         table.free.append(row)
+
+    def _maybe_compact(self, table: RelationColumns) -> None:
+        total = len(table.ids)
+        if total < self.COMPACT_MIN_SLOTS:
+            return
+        if len(table.row_of) >= total * self.COMPACT_LIVE_FRACTION:
+            return
+        self._compact(table)
+
+    def _compact(self, table: RelationColumns) -> None:
+        """Drop dead slots, renumbering rows densely.
+
+        Every captured reference stays valid: column lists, the id list and
+        the group dicts are all rewritten **in place** (slice assignment /
+        clear-and-refill), because compiled list plans close over them by
+        object identity.
+        """
+        live = [row for row, ident in enumerate(table.ids) if ident is not None]
+        table.ids[:] = [table.ids[row] for row in live]
+        for column in table.columns.values():
+            column[:] = [column[row] for row in live]
+        table.row_of.clear()
+        for row, ident in enumerate(table.ids):
+            table.row_of[ident] = row
+        table.free.clear()
+        for attribute, _position in self._keys_by_relation.get(table.relation, ()):
+            buckets = self._groups[(table.relation, attribute)]
+            buckets.clear()
+            for row, value in enumerate(table.columns[attribute]):
+                if _joinable(value):
+                    buckets.setdefault(value, set()).add(row)

@@ -59,7 +59,7 @@ from ..sqlengine.ast import (
 from ..sqlengine.planner import JoinPlan, PlanNode, QueryPlan, ScanPlan, plan_query
 from ..violations.minimal import _witness_id_sets
 from ..violations.sqlgen import conflict_query, variable_aliases
-from .columnar import ColumnStore
+from .columnar import ColumnStore, make_column_store
 from .witnesses import EqualityColumnIndex, delta_witnesses
 
 ENGINES = ("probe", "batch", "auto")
@@ -125,6 +125,7 @@ class EnumerationStats:
 
     __slots__ = (
         "engine",
+        "backend",
         "plans_compiled",
         "batches_joined",
         "rows_scanned",
@@ -135,6 +136,9 @@ class EnumerationStats:
 
     def __init__(self, engine: str) -> None:
         self.engine = engine
+        #: Column backend serving a batch engine ("list"/"numpy"); None for
+        #: the probe reference, which has no columnar working set.
+        self.backend: str | None = None
         self.plans_compiled = 0
         self.batches_joined = 0
         self.rows_scanned = 0
@@ -145,6 +149,7 @@ class EnumerationStats:
     def as_dict(self) -> dict:
         return {
             "engine": self.engine,
+            "backend": self.backend,
             "plans_compiled": self.plans_compiled,
             "batches_joined": self.batches_joined,
             "rows_scanned": self.rows_scanned,
@@ -163,6 +168,13 @@ def batch_compilable(dc: DenialConstraint) -> bool:
     whatever variable seeds it (connectivity is start-independent), so both
     the cold plan and every per-pin delta plan avoid cross products.  Unary
     DCs are trivially compilable (a scan plus vectorized filters).
+
+    Additionally, a DC whose graph leaves **exactly one** tuple variable
+    disconnected is compilable when that variable is bound only by
+    constant/single-table predicates (no predicate mentions it together
+    with another variable): the plan's single keyless step degrades to a
+    masked pre-filtered seed crossed with the joined batch, which is the
+    witness semantics anyway — there is no key to exploit.
     """
     if dc.width <= 1:
         return True
@@ -171,15 +183,34 @@ def batch_compilable(dc: DenialConstraint) -> bool:
         left, right = predicate.left.variable, predicate.right.variable
         edges[left].add(right)
         edges[right].add(left)
-    start = dc.variables[0][0]
-    reached = {start}
-    frontier = [start]
-    while frontier:
-        for neighbor in edges[frontier.pop()]:
-            if neighbor not in reached:
-                reached.add(neighbor)
-                frontier.append(neighbor)
-    return len(reached) == dc.width
+    components: list[set[str]] = []
+    seen: set[str] = set()
+    for variable, _ in dc.variables:
+        if variable in seen:
+            continue
+        component = {variable}
+        frontier = [variable]
+        while frontier:
+            for neighbor in edges[frontier.pop()]:
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        seen |= component
+        components.append(component)
+    if len(components) == 1:
+        return True
+    if len(components) != 2:
+        return False
+    for component in components:
+        if len(component) != 1:
+            continue
+        lone = next(iter(component))
+        if all(
+            lone not in predicate.variables() or len(predicate.variables()) == 1
+            for predicate in dc.predicates
+        ):
+            return True
+    return False
 
 
 def register_batch_columns(dc: DenialConstraint, store: ColumnStore) -> None:
@@ -189,24 +220,38 @@ def register_batch_columns(dc: DenialConstraint, store: ColumnStore) -> None:
     of every equality-join predicate become grouped key columns, because a
     delta plan pinned on either variable probes the *other* side's group.
     Relations bound by a variable no predicate mentions still get their
-    identifier array.
+    identifier array.  Column pairs some predicate compares for equality
+    **or disequality** also register as one coded join class
+    (``register_coded``), which the numpy backend uses to share one value
+    dictionary across the pair so EQ/NE evaluate on codes; the list backend
+    just stores the columns.
     """
     for variable, relation in dc.variables:
         store.register(relation, ())
     for predicate in dc.predicates:
-        for term in (predicate.left, predicate.right):
+        left, right = predicate.left, predicate.right
+        for term in (left, right):
             if not term.is_constant:
                 store.register(
                     dc.relation_of(term.variable), (term.attribute,)
                 )
         if predicate.is_equality_join():
             store.register_key(
-                dc.relation_of(predicate.left.variable),
-                predicate.left.attribute,
+                dc.relation_of(left.variable), left.attribute
             )
             store.register_key(
-                dc.relation_of(predicate.right.variable),
-                predicate.right.attribute,
+                dc.relation_of(right.variable), right.attribute
+            )
+        if (
+            predicate.op in (ComparisonOp.EQ, ComparisonOp.NE)
+            and not left.is_constant
+            and not right.is_constant
+        ):
+            store.register_coded(
+                (
+                    (dc.relation_of(left.variable), left.attribute),
+                    (dc.relation_of(right.variable), right.attribute),
+                )
             )
 
 
@@ -308,7 +353,12 @@ class _PlanCompiler:
             where=self.query.where,
             select_star=self.query.select_star,
         )
-        plan = plan_query(rotated, reorder_equalities=True)
+        store = self.store
+        plan = plan_query(
+            rotated,
+            reorder_equalities=True,
+            cost_of=lambda table: float(store.live_count(table.relation)),
+        )
         return self._compile(plan)
 
     # -- plan-tree compilation ------------------------------------------
@@ -324,10 +374,15 @@ class _PlanCompiler:
         joins: list[tuple[Callable[[list], list], list[BatchFilter]]] = []
         for step in join_steps:
             if not step.equi_keys:
-                raise ValueError(
-                    f"DC {self.dc.name!r} compiled to a keyless join step; "
-                    "use batch_compilable() before selecting the batch engine"
-                )
+                # The lone pre-filtered variable (see batch_compilable):
+                # its single-alias conditions trim the crossed rows before
+                # expansion; only the step residual survives as filters.
+                join = self._compile_cross(step)
+                filters = [
+                    self._compile_filter(condition) for condition in step.residual
+                ]
+                joins.append((join, filters))
+                continue
             conditions = list(step.right.filters) + list(step.residual)
             # Fuse pairwise predicates into the join: candidates failing
             # them are filtered during group expansion and never
@@ -503,6 +558,69 @@ class _PlanCompiler:
 
         return join_multi
 
+    def _compile_cross(self, step: JoinPlan) -> Callable[[list], list]:
+        """A keyless step: pre-filtered live rows crossed with the batch.
+
+        The new side's rows are computed once per run (live scan + its
+        single-table predicates) and appended to every candidate — the
+        masked pre-filtered seed of the lone disconnected variable.
+        """
+        table = self.store.relation(step.right.table.relation)
+        row_predicates = tuple(
+            self._compile_row_predicate(condition, step.right.table.alias)
+            for condition in step.right.filters
+        )
+
+        def join_cross(batch, table=table, predicates=row_predicates):
+            ids = table.ids
+            rows = [row for row in range(len(ids)) if ids[row] is not None]
+            for predicate in predicates:
+                rows = [row for row in rows if predicate(row)]
+                if not rows:
+                    return []
+            out: list[tuple[int, ...]] = []
+            extend = out.extend
+            for candidate in batch:
+                extend([candidate + (row,) for row in rows])
+            return out
+
+        return join_cross
+
+    def _compile_row_predicate(
+        self, condition: Condition, alias: str
+    ) -> Callable[[int], bool]:
+        """A single-relation row predicate (operands on *alias* or consts)."""
+        assert isinstance(condition, Comparison)
+        compare = _COMPARE[condition.op]
+        relation = self.relation_of[alias]
+
+        def resolve(operand):
+            if isinstance(operand, Literal):
+                return None, operand.value
+            array = (
+                self.store.ids(relation)
+                if operand.column == _ID
+                else self.store.column(relation, operand.column)
+            )
+            return array, None
+
+        left_array, left_value = resolve(condition.left)
+        right_array, right_value = resolve(condition.right)
+        if left_array is None and right_array is None:
+            keep = compare(left_value, right_value)
+            return lambda row, keep=keep: keep
+        if right_array is None:
+            return lambda row, compare=compare, array=left_array, value=right_value: (
+                compare(array[row], value)
+            )
+        if left_array is None:
+            return lambda row, compare=compare, value=left_value, array=right_array: (
+                compare(value, array[row])
+            )
+        return lambda row, compare=compare, a=left_array, b=right_array: (
+            compare(a[row], b[row])
+        )
+
     def _operand(self, operand) -> tuple[list | None, object]:
         """``(column array, slot)`` for a ColumnRef, ``(None, value)`` else."""
         if isinstance(operand, Literal):
@@ -657,6 +775,7 @@ class ProbeEnumerator(WitnessEnumerator):
         self.eq_index = eq_index
         self.stats = stats if stats is not None else EnumerationStats("probe")
         self.stats.engine = "probe"
+        self.stats.backend = None
 
     def cold(self, database: Database) -> Witnesses:
         stats = self.stats
@@ -690,7 +809,14 @@ class BatchEnumerator(WitnessEnumerator):
         self.store = store
         self.stats = stats if stats is not None else EnumerationStats("batch")
         self.stats.engine = "batch"
+        self.stats.backend = store.backend
         register_batch_columns(dc, store)
+        #: Cold seed rows processed per plan run.  Witnesses partition by
+        #: the pinned seed row, so chunking only bounds the intermediate
+        #: candidate batches — the union is unchanged.  The vectorized
+        #: kernels amortize per-run overhead across the whole chunk, so
+        #: they want much larger batches than the python-loop kernels.
+        self.cold_chunk = 65536 if store.backend == "numpy" else self.COLD_CHUNK
         #: pin index → BatchPlan, compiled lazily on first enumeration so
         #: construction can finish registering every DC's columns before
         #: the store is built.
@@ -698,16 +824,19 @@ class BatchEnumerator(WitnessEnumerator):
 
     def _compiled(self) -> list[BatchPlan]:
         if self._plans is None:
-            compiler = _PlanCompiler(self.dc, self.schema, self.store)
+            if self.store.backend == "numpy":
+                from .vectorized import VectorPlanCompiler
+
+                compiler = VectorPlanCompiler(self.dc, self.schema, self.store)
+            else:
+                compiler = _PlanCompiler(self.dc, self.schema, self.store)
             self._plans = [
                 compiler.compile_pin(pin) for pin in range(self.dc.width)
             ]
             self.stats.plans_compiled += len(self._plans)
         return self._plans
 
-    #: Cold seed rows processed per plan run.  Witnesses partition by the
-    #: pinned seed row, so chunking only bounds the intermediate candidate
-    #: batches (keeping them cache-resident) — the union is unchanged.
+    #: Default cold chunk for the list-backed kernels.
     COLD_CHUNK = 8192
 
     def cold(self, database: Database) -> Witnesses:
@@ -715,7 +844,7 @@ class BatchEnumerator(WitnessEnumerator):
         stats.cold_runs += 1
         plan = self._compiled()[0]
         seed = self.store.relation(plan.seed_relation).live_rows()
-        chunk = self.COLD_CHUNK
+        chunk = self.cold_chunk
         found: Witnesses = set()
         for start in range(0, len(seed), chunk):
             found |= plan.run(seed[start : start + chunk], stats)
@@ -733,16 +862,16 @@ class BatchEnumerator(WitnessEnumerator):
         stats.delta_runs += 1
         store = self.store
         by_relation: dict[str, list[int]] = {}
+        lookup = database.get
         for identifier in dirty_ids:
-            if identifier not in database:
-                continue
-            relation = database[identifier].relation
-            if store.has_relation(relation):
-                by_relation.setdefault(relation, []).append(identifier)
+            fact = lookup(identifier)
+            if fact is not None and store.has_relation(fact.relation):
+                by_relation.setdefault(fact.relation, []).append(identifier)
         found: Witnesses = set()
         if not by_relation:
             return found
         rows_cache: dict[str, list[int]] = {}
+        seeded = []
         for plan in self._compiled():
             identifiers = by_relation.get(plan.seed_relation)
             if not identifiers:
@@ -753,7 +882,17 @@ class BatchEnumerator(WitnessEnumerator):
                     identifiers
                 )
                 rows_cache[plan.seed_relation] = rows
-            found |= plan.run(rows, stats)
+            seeded.append((plan, rows))
+        if store.backend == "numpy":
+            # Plans pinned on different variables of one DC re-find the
+            # same witnesses; dedup survivors across plans *before* the
+            # python-object emission instead of per-plan.
+            from .vectorized import delta_union
+
+            found = delta_union(seeded, stats)
+        else:
+            for plan, rows in seeded:
+                found |= plan.run(rows, stats)
         stats.witnesses_emitted += len(found)
         return found
 
@@ -764,6 +903,7 @@ def build_enumerators(
     schema: Schema,
     eq_index: EqualityColumnIndex,
     stats: Sequence[EnumerationStats | None] | None = None,
+    vector_backend: str | None = None,
 ) -> tuple[list[WitnessEnumerator], ColumnStore | None]:
     """Per-DC strategy objects plus the shared column store (if any).
 
@@ -772,6 +912,8 @@ def build_enumerators(
     backend cannot compile) or ``"auto"`` (batch where compilable, probe
     fallback).  *stats* threads session-owned counter records through a
     rebuild so they accumulate; ``None`` entries are freshly created.
+    *vector_backend* picks the column backend (``"numpy"``/``"list"``;
+    ``None`` = the process default, see ``columnar.VECTOR_BACKEND``).
 
     The returned store has every batch DC's columns registered but is
     **not built** — the caller populates it from the database (cold build /
@@ -797,7 +939,7 @@ def build_enumerators(
             )
         else:
             use_batch.append(False)
-    store = ColumnStore(schema) if any(use_batch) else None
+    store = make_column_store(schema, vector_backend) if any(use_batch) else None
     enumerators: list[WitnessEnumerator] = []
     for dc, batch, counter in zip(dcs, use_batch, counters):
         if batch:

@@ -238,6 +238,7 @@ class MeasurementSession:
         warm_start: SessionSnapshot | None = None,
         warm_fingerprint: DatabaseFingerprint | None = None,
         engine: str = "auto",
+        vector_backend: str | None = None,
         time_budget: float | None = None,
     ) -> None:
         self.constraints = list(constraints)
@@ -261,6 +262,9 @@ class MeasurementSession:
         #: :mod:`repro.session.enumeration`).  Whatever the choice, the
         #: maintained state is bit-identical.
         self.engine = engine
+        #: Column backend for the batch engine: "numpy" | "list" | None
+        #: (= the process default, see ``columnar.VECTOR_BACKEND``).
+        self.vector_backend = vector_backend
         # The equality-column index, witness stores (with the reverse
         # fact → (dc, witness) map), the per-DC enumeration backends (plus
         # their columnar store, when any DC runs batch) and the topology
@@ -871,6 +875,7 @@ class MeasurementSession:
             self.database.schema,
             self._eq_index,
             self._enum_stats,
+            vector_backend=self.vector_backend,
         )
         self._enum_stats = [
             enumerator.stats for enumerator in self._enumerators
@@ -882,6 +887,9 @@ class MeasurementSession:
         """Per-DC enumeration counters (see :class:`EnumerationStats`)."""
         return {
             "engine": self.engine,
+            "vector_backend": (
+                self._columns.backend if self._columns is not None else None
+            ),
             "constraints": [
                 dict(stats.as_dict(), constraint=dc.name)
                 for dc, stats in zip(self.dcs, self._enum_stats)

@@ -162,6 +162,7 @@ class ShardedMeasurementSession:
         *,
         warm_start: ShardedSessionSnapshot | None = None,
         engine: str = "auto",
+        vector_backend: str | None = None,
         time_budget: float | None = None,
     ) -> None:
         self.constraints = list(constraints)
@@ -171,6 +172,9 @@ class ShardedMeasurementSession:
         self.time_budget = time_budget
         #: Witness-enumeration backend, passed through to every shard.
         self.engine = engine
+        #: Column backend for the batch engine, passed through to every
+        #: shard ("numpy" | "list" | None = the process default).
+        self.vector_backend = vector_backend
         # Lower once; shards receive pre-lowered subsets.
         self.dcs = lower_constraints(self.constraints, database.schema)
         if isinstance(shards, str):
@@ -214,6 +218,7 @@ class ShardedMeasurementSession:
                 warm_start=warm_shards[number] if warm_shards else None,
                 warm_fingerprint=warm_current,
                 engine=engine,
+                vector_backend=vector_backend,
             )
             for number, dcs in enumerate(shard_dcs)
         ]
@@ -596,9 +601,16 @@ class ShardedMeasurementSession:
 
     def stats(self) -> dict:
         """Per-DC enumeration counters, merged in global lowered-DC order."""
-        shard_stats = [shard.stats()["constraints"] for shard in self.shards]
+        per_shard = [shard.stats() for shard in self.shards]
+        shard_stats = [stats["constraints"] for stats in per_shard]
+        backends = {
+            stats["vector_backend"]
+            for stats in per_shard
+            if stats["vector_backend"] is not None
+        }
         return {
             "engine": self.engine,
+            "vector_backend": backends.pop() if len(backends) == 1 else None,
             "constraints": [
                 shard_stats[number][local] for number, local in self._routing
             ],
@@ -829,6 +841,7 @@ def make_session(
     shards: str | Iterable[Iterable[str]] | None = None,
     warm_start=None,
     engine: str = "auto",
+    vector_backend: str | None = None,
     time_budget: float | None = None,
 ):
     """A measurement session, sharded when *shards* asks for it.
@@ -844,7 +857,9 @@ def make_session(
     ordinary cold build.  *engine* selects the witness-enumeration backend
     (``"probe"`` | ``"batch"`` | ``"auto"``, see
     :mod:`repro.session.enumeration`); results are bit-identical whatever
-    the choice.  *time_budget* (seconds) sets the session's default solver
+    the choice.  *vector_backend* picks the batch engine's column backend
+    (``"numpy"`` | ``"list"`` | ``None`` = the process default).
+    *time_budget* (seconds) sets the session's default solver
     budget: every ``measure``/``measure_all``/``speculate``/``speculate_batch``
     call is budgeted unless it passes its own ``budget=``; ``None`` keeps
     every call exact.
@@ -855,6 +870,7 @@ def make_session(
             database,
             warm_start=warm_start,
             engine=engine,
+            vector_backend=vector_backend,
             time_budget=time_budget,
         )
     return ShardedMeasurementSession(
@@ -863,5 +879,6 @@ def make_session(
         shards=shards,
         warm_start=warm_start,
         engine=engine,
+        vector_backend=vector_backend,
         time_budget=time_budget,
     )

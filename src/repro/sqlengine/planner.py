@@ -74,7 +74,10 @@ class QueryPlan:
 
 
 def equality_join_order(
-    aliases: Sequence[str], cross_equi: Sequence[Comparison]
+    aliases: Sequence[str],
+    cross_equi: Sequence[Comparison],
+    *,
+    cost_of: Callable[[str], float] | None = None,
 ) -> list[str]:
     """A left-deep join order that follows the equality graph.
 
@@ -84,6 +87,12 @@ def equality_join_order(
     reachable ones; aliases the graph never reaches come last, in FROM
     order.  Every placed-while-reachable step is guaranteed at least one
     usable hash key under the planner's left-deep key fitting.
+
+    *cost_of* maps an alias to an estimated scan cost (typically the live
+    cardinality of its relation).  When given, ties among reachable aliases
+    are broken by ascending cost — cheap builds join first — with FROM-clause
+    order as the stable tie-break.  Reachability still dominates: a costly
+    reachable alias always beats a cheap unreachable one.
     """
     edges: dict[str, set[str]] = {alias: set() for alias in aliases}
     for comparison in cross_equi:
@@ -95,10 +104,12 @@ def equality_join_order(
     placed = {aliases[0]}
     remaining = [alias for alias in aliases[1:]]
     while remaining:
-        pick = next(
-            (alias for alias in remaining if edges[alias] & placed),
-            remaining[0],
-        )
+        reachable = [alias for alias in remaining if edges[alias] & placed]
+        pool = reachable or remaining
+        if cost_of is None:
+            pick = pool[0]
+        else:
+            pick = min(pool, key=lambda alias: (cost_of(alias), pool.index(alias)))
         order.append(pick)
         placed.add(pick)
         remaining.remove(pick)
@@ -110,13 +121,17 @@ def plan_query(
     *,
     force_nested_loop: bool = False,
     reorder_equalities: bool = False,
+    cost_of: Callable[[TableRef], float] | None = None,
 ) -> QueryPlan:
     """Build a physical plan for *query*.
 
     *force_nested_loop* disables hash joins (used by the join-strategy
     ablation bench).  *reorder_equalities* picks the left-deep join order
     from the equality graph via :func:`equality_join_order` instead of the
-    FROM-clause order (the first table always stays the seed).
+    FROM-clause order (the first table always stays the seed).  *cost_of*
+    estimates the scan cost of a ``TableRef`` — the set-based enumeration
+    backend passes live column-store cardinalities so the equality order
+    joins small relations first; it only applies with *reorder_equalities*.
     """
     aliases = [table.alias for table in query.tables]
     alias_set = set(aliases)
@@ -140,7 +155,11 @@ def plan_query(
             residual.append(conjunct)
 
     if reorder_equalities and len(aliases) > 1:
-        aliases = equality_join_order(aliases, cross_equi)
+        alias_cost: Callable[[str], float] | None = None
+        if cost_of is not None:
+            table_of = {table.alias: table for table in query.tables}
+            alias_cost = lambda alias: cost_of(table_of[alias])
+        aliases = equality_join_order(aliases, cross_equi, cost_of=alias_cost)
     scans = {
         table.alias: ScanPlan(table=table, filters=single[table.alias])
         for table in query.tables

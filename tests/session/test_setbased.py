@@ -64,7 +64,7 @@ def _random_dc(
     rng: random.Random, relations: list[str], number: int
 ) -> DenialConstraint:
     """A random DC drawn from the shapes the backend must cover."""
-    shape = rng.randrange(5)
+    shape = rng.randrange(6)
     relation = rng.choice(relations)
     if shape == 0:  # unary
         return DenialConstraint(
@@ -112,6 +112,21 @@ def _random_dc(
                 Predicate(Term.col("u", "C"), rng.choice(_OPS), Term.col("t", "C")),
             ],
             name=f"dc{number}_chain",
+        )
+    if shape == 4:  # equality pair plus a lone constant-bound variable
+        other = rng.choice(relations)
+        return DenialConstraint(
+            [("t", relation), ("u", relation), ("v", other)],
+            [
+                Predicate(Term.col("t", "A"), ComparisonOp.EQ, Term.col("u", "A")),
+                Predicate(Term.col("t", "B"), rng.choice(_OPS), Term.col("u", "B")),
+                Predicate(
+                    Term.col("v", "C"),
+                    rng.choice([ComparisonOp.EQ, ComparisonOp.GT]),
+                    Term.const(rng.randint(0, 4)),
+                ),
+            ],
+            name=f"dc{number}_lone",
         )
     # non-equality-joinable (auto must fall back to the probe)
     return DenialConstraint(
