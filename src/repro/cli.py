@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of stalling; omit for exact (unbudgeted) answers",
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the session's observability counters as JSON after "
+        "measuring (enumeration engine, vector backend, per-constraint "
+        "witness counters, streaming-ingest counters when a pipeline is "
+        "attached)",
+    )
+    parser.add_argument(
         "--warm-start",
         type=Path,
         metavar="PATH",
@@ -149,12 +157,12 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     constraints = load_constraints(args)
     database = load_csv(args.csv, args.relation)
     session = None
-    if args.warm_start:
+    if args.warm_start or args.stats:
         from .session import MeasurementSession
         from .session.snapshot import SnapshotError, load_snapshot
 
         snap = None
-        if args.warm_start.exists():
+        if args.warm_start and args.warm_start.exists():
             try:
                 snap = load_snapshot(args.warm_start)
             except (SnapshotError, OSError):
@@ -166,7 +174,7 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
 
     print(f"facts: {len(database)}", file=out)
     print(f"constraints: {len(constraints)}", file=out)
-    if session is not None:
+    if session is not None and args.warm_start:
         state = "restored" if session.warm_started else "cold build"
         print(f"warm start: {state} ({args.warm_start})", file=out)
     print(f"minimal inconsistent subsets: {len(index.mi_sets)}", file=out)
@@ -181,11 +189,15 @@ def run(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         else:
             value = measure.value(constraints, database, index)
         print(format_measurement(name, value, args.time_budget), file=out)
+    if session is not None and args.stats:
+        import json
+
+        print(json.dumps(session.stats(), indent=2, default=str), file=out)
     if session is not None:
         # A warm-restored run never mutated the database, so the state on
         # disk is already current — re-serializing it would just re-pay
         # the fingerprint hash and the write on every warm run.
-        if not session.warm_started:
+        if args.warm_start and not session.warm_started:
             from .session.snapshot import save_snapshot
 
             try:

@@ -31,6 +31,13 @@ component topology, live cache entries) behind a database fingerprint, and
 — falling back to the ordinary cold build on any mismatch, so a warm start
 is never a wrong answer (:mod:`repro.session.snapshot`).
 
+Sustained update streams go through :class:`~repro.session.ingest.IngestPipeline`
+(``session.ingest()`` on either flavor): submissions are coalesced per
+fact identifier in a bounded buffer with caller-visible backpressure, and
+staleness-bounded reads drain only the shards over their watermark —
+one regional re-split per touched component per *flush* instead of per
+event, bit-identical to eager per-event application.
+
 Witness enumeration itself is a pluggable per-DC strategy
 (:mod:`repro.session.enumeration`): the tuple-at-a-time probe reference or
 the set-based batch-join backend, selected with ``engine="probe" | "batch"
@@ -57,6 +64,12 @@ from .enumeration import (
     WitnessEnumerator,
     batch_compilable,
     build_enumerators,
+)
+from .ingest import (
+    FAULT_FLUSH,
+    IngestError,
+    IngestPipeline,
+    IngestRead,
 )
 from .session import MeasurementSession
 from .sharding import (
@@ -90,6 +103,10 @@ __all__ = [
     "ENGINES",
     "EnumerationStats",
     "EqualityColumnIndex",
+    "FAULT_FLUSH",
+    "IngestError",
+    "IngestPipeline",
+    "IngestRead",
     "MeasurementSession",
     "ProbeEnumerator",
     "RelationColumns",

@@ -289,6 +289,9 @@ class MeasurementSession:
         # the generation and this snapshot untouched.
         self._spec_base: _SpeculationBase | None = None
         self._spec_base_generation = -1
+        # The attached streaming-ingest pipeline, if any (set by
+        # IngestPipeline; surfaces its counters through stats()).
+        self._ingest = None
         self._closed = False
         self._subscribed = subscribe
         if subscribe:
@@ -334,6 +337,17 @@ class MeasurementSession:
         """Apply repair operations in place (delta-tracked)."""
         for operation in operations:
             operation.apply_in_place(self.database)
+
+    def ingest(self, *, capacity: int = 1024):
+        """Attach a coalescing streaming-ingest pipeline to this session.
+
+        Returns an :class:`~repro.session.ingest.IngestPipeline` with a
+        bounded pending buffer of *capacity* net events — see that module
+        for the coalescing, backpressure and read-staleness contract.
+        """
+        from .ingest import IngestPipeline
+
+        return IngestPipeline(self, capacity=capacity)
 
     # ------------------------------------------------------------------
     # The maintained index
@@ -645,17 +659,25 @@ class MeasurementSession:
                     for operations in candidates
                 ]
         base = self._speculation_base()
+        batch_marks: set[int] = set()
+        outside: set[int] = set()
         with solver_scope(budget, plan=self._solve_plan(measures)):
             try:
                 self._prime_base(base, fast)
                 results: list[dict[str, float]] = []
                 for operations in candidates:
+                    # Dirty marks present before this candidate that no
+                    # earlier candidate produced came from *outside* the
+                    # batch (e.g. a concurrent ingest producer committing
+                    # between candidates) — they must survive the batch.
+                    outside |= self._dirty - batch_marks
                     with self.savepoint() as savepoint:
                         for operation in operations:
                             operation.apply_in_place(self.database)
                         touched = {
                             event.identifier for event in savepoint.events
                         }
+                        batch_marks |= touched
                         results.append(
                             self._preview_values(base, touched, fast)
                         )
@@ -667,11 +689,13 @@ class MeasurementSession:
         # The batch never committed anything: every candidate's events were
         # rolled back (bit-identical database and equality index, by the
         # savepoint contract) and neither the stores nor the topology were
-        # ever written.  The accumulated dirty marks are balanced
+        # ever written.  The batch's own dirty marks are balanced
         # apply/inverse pairs, so the flush they call for is a no-op by
         # construction — drop them instead of re-enumerating every touched
-        # fact.
-        self._dirty.clear()
+        # fact.  Marks recorded by mutations outside the balanced pairs
+        # stay dirty: they describe real committed deltas.
+        outside |= self._dirty - batch_marks
+        self._dirty &= outside
         if generic:
             with solver_scope(budget):
                 results = _merge_generic_batch(
@@ -885,7 +909,7 @@ class MeasurementSession:
 
     def stats(self) -> dict:
         """Per-DC enumeration counters (see :class:`EnumerationStats`)."""
-        return {
+        stats = {
             "engine": self.engine,
             "vector_backend": (
                 self._columns.backend if self._columns is not None else None
@@ -895,6 +919,9 @@ class MeasurementSession:
                 for dc, stats in zip(self.dcs, self._enum_stats)
             ],
         }
+        if self._ingest is not None:
+            stats["ingest"] = self._ingest.counters()
+        return stats
 
     def _rebuild(self) -> None:
         # The equality index is rebuilt too: a refresh after *untracked*

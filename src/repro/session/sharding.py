@@ -243,6 +243,9 @@ class ShardedMeasurementSession:
         self._pseudo: ViolationIndex | None = None
         self._pseudo_key: tuple | None = None
         self._spec_base: _ShardedSpeculationBase | None = None
+        # The attached streaming-ingest pipeline, if any (set by
+        # IngestPipeline; surfaces its counters through stats()).
+        self._ingest = None
         self._closed = False
         database.subscribe(self._on_change)
 
@@ -350,6 +353,17 @@ class ShardedMeasurementSession:
         """Apply repair operations in place (delta-tracked)."""
         for operation in operations:
             operation.apply_in_place(self.database)
+
+    def ingest(self, *, capacity: int = 1024):
+        """Attach a coalescing streaming-ingest pipeline to this session.
+
+        Pending events are buffered per owning shard, so a staleness-
+        bounded read drains only the shards over their watermark — see
+        :class:`~repro.session.ingest.IngestPipeline`.
+        """
+        from .ingest import IngestPipeline
+
+        return IngestPipeline(self, capacity=capacity)
 
     def savepoint(self) -> Savepoint:
         """Open a rollback journal on the owned database."""
@@ -562,11 +576,22 @@ class ShardedMeasurementSession:
                     for operations in candidates
                 ]
         base = self._speculation_base()
+        batch_marks: list[set[int]] = [set() for _ in self.shards]
+        outside: list[set[int]] = [set() for _ in self.shards]
         with solver_scope(budget, plan=self._solve_plan(measures)):
             try:
                 self._prime_base(base, fast)
                 results: list[dict[str, float]] = []
                 for operations in candidates:
+                    # Dirty marks present before this candidate that no
+                    # earlier candidate produced came from *outside* the
+                    # batch (e.g. a concurrent ingest producer committing
+                    # between candidates) — they must survive the batch.
+                    for number, shard in enumerate(self.shards):
+                        if shard._dirty:
+                            outside[number] |= (
+                                shard._dirty - batch_marks[number]
+                            )
                     with self.savepoint() as savepoint:
                         for operation in operations:
                             operation.apply_in_place(self.database)
@@ -575,13 +600,12 @@ class ShardedMeasurementSession:
                             for fact in (event.old, event.new):
                                 if fact is None:
                                     continue
-                                shard = self._shard_of_relation.get(
-                                    fact.relation
-                                )
-                                if shard is not None:
-                                    touched.setdefault(shard, set()).add(
-                                        event.identifier
-                                    )
+                                number = self._shard_number.get(fact.relation)
+                                if number is not None:
+                                    batch_marks[number].add(event.identifier)
+                                    touched.setdefault(
+                                        self.shards[number], set()
+                                    ).add(event.identifier)
                         results.append(
                             self._preview_values(base, touched, fast)
                         )
@@ -590,8 +614,13 @@ class ShardedMeasurementSession:
                 # (budget-bounded) parts must not leak into later unbudgeted
                 # rounds.
                 _purge_degraded_parts(base)
-        for shard in self.shards:
-            shard._dirty.clear()
+        # The batch's own marks are balanced apply/inverse pairs whose
+        # flush would be a no-op — drop them.  Marks recorded by mutations
+        # outside the balanced pairs describe real committed deltas and
+        # must stay, or the next flush would serve a stale index.
+        for number, shard in enumerate(self.shards):
+            outside[number] |= shard._dirty - batch_marks[number]
+            shard._dirty &= outside[number]
         if generic:
             with solver_scope(budget):
                 results = _merge_generic_batch(
@@ -603,18 +632,28 @@ class ShardedMeasurementSession:
         """Per-DC enumeration counters, merged in global lowered-DC order."""
         per_shard = [shard.stats() for shard in self.shards]
         shard_stats = [stats["constraints"] for stats in per_shard]
-        backends = {
-            stats["vector_backend"]
-            for stats in per_shard
-            if stats["vector_backend"] is not None
-        }
-        return {
+        backends = {stats["vector_backend"] for stats in per_shard}
+        if not backends or backends == {None}:
+            merged_backend = None
+        elif len(backends) == 1:
+            merged_backend = next(iter(backends))
+        else:
+            # Disagreeing shards are surfaced, not collapsed to None —
+            # "no columnar backend anywhere" and "heterogeneous backends"
+            # are very different operational states.
+            merged_backend = "mixed:" + ",".join(
+                sorted("none" if backend is None else backend for backend in backends)
+            )
+        stats = {
             "engine": self.engine,
-            "vector_backend": backends.pop() if len(backends) == 1 else None,
+            "vector_backend": merged_backend,
             "constraints": [
                 shard_stats[number][local] for number, local in self._routing
             ],
         }
+        if self._ingest is not None:
+            stats["ingest"] = self._ingest.counters()
+        return stats
 
     # ------------------------------------------------------------------
     # Internals

@@ -40,6 +40,11 @@ Points currently wired into production code:
     Raises while the sharded coordinator forwards a change event to the
     owning shard — the shard marks itself degraded and rebuilds cold on
     the next read instead of serving a stale answer.
+``ingest.flush``
+    Raises at the head of an :class:`~repro.session.ingest.IngestPipeline`
+    drain, before any pending event applies — the pending buffer, the
+    database and the session must be left bit-identical, so the producer
+    simply retries the drain.
 """
 
 from __future__ import annotations

@@ -296,3 +296,68 @@ class TestRandomizedDegradationDrill:
             assert session.measure_all(measures) == _fresh_values(
                 constraints, database, measures
             )
+
+
+class TestIngestFlushFault:
+    """``ingest.flush`` drills: a tripped drain is a clean refusal.
+
+    The pipeline trips before any pending event applies, so the pending
+    buffer, the database and the session must be left bit-identical —
+    the producer handles the error and simply retries the drain.
+    """
+
+    def test_tripped_drain_leaves_everything_intact_and_retries(self):
+        from repro.session.ingest import FAULT_FLUSH
+
+        constraints, database = _workload(8)
+        measures = make_measures(("I_MI", "I_d"))
+        with MeasurementSession(constraints, database) as session:
+            pipe = session.ingest()
+            pipe.submit("insert", Fact("R", (0, 99, 0)))
+            pipe.submit("update", 0, "B", 99)
+            pending_before = pipe.pending
+            facts_before = dict(database._facts)
+            flushes_before = pipe.counters()["flushes"]
+            with faults.inject(FAULT_FLUSH):
+                with pytest.raises(FaultInjected):
+                    pipe.read(measures, max_staleness_events=0)
+            assert pipe.pending == pending_before
+            assert dict(database._facts) == facts_before
+            assert pipe.counters()["flushes"] == flushes_before
+            # The retry drains bit-identically to never having faulted.
+            read = pipe.read(measures, max_staleness_events=0)
+            assert read.staleness == 0
+            assert read.values == _fresh_values(constraints, database, measures)
+
+    def test_seed_driven_flush_faults_with_retry_converge(self, case_rng):
+        from repro.session.ingest import FAULT_FLUSH
+
+        constraints, database = _workload(8)
+        measures = make_measures(("I_MI", "I_d"))
+        with ShardedMeasurementSession(constraints, database) as session:
+            pipe = session.ingest()
+            with faults.fault_plan(
+                case_rng.randrange(2**31), rates={FAULT_FLUSH: 0.4}
+            ) as plan:
+                for step in range(40):
+                    relation = "R" if step % 2 else "S"
+                    pipe.submit(
+                        "insert", Fact(relation, (step // 3, 200 + step, 0))
+                    )
+                    if step % 5 == 4:
+                        for _ in range(10):  # retry until the drain lands
+                            try:
+                                pipe.read((), max_staleness_events=2)
+                                break
+                            except FaultInjected:
+                                continue
+                while True:
+                    try:
+                        pipe.flush()
+                        break
+                    except FaultInjected:
+                        continue
+            assert pipe.pending == 0
+            assert session.measure_all(measures) == _fresh_values(
+                constraints, database, measures
+            )

@@ -605,3 +605,46 @@ class TestMixedMeasureSpeculation:
                             for measure in mixed
                         }
                     _random_mutation(rng, database, relations)
+
+
+class TestStatsBackendMerge:
+    """Regression: disagreeing shard backends must surface, not vanish."""
+
+    def _session(self):
+        schema = Schema.from_dict({"R": ["A", "B", "C"], "S": ["A", "B", "C"]})
+        database = Database.from_facts(
+            schema,
+            [Fact(relation, (k, k, k)) for relation in ("R", "S") for k in range(3)],
+        )
+        constraints = [
+            FunctionalDependency("R", {"A"}, {"B"}),
+            FunctionalDependency("S", {"A"}, {"B"}),
+        ]
+        return ShardedMeasurementSession(constraints, database, engine="batch")
+
+    def test_agreeing_shards_report_the_backend(self):
+        session = self._session()
+        backends = {shard.stats()["vector_backend"] for shard in session.shards}
+        assert len(backends) == 1
+        assert session.stats()["vector_backend"] == backends.pop()
+
+    def test_disagreeing_shards_report_mixed(self):
+        class _StubColumns:
+            backend = "stub"
+
+        session = self._session()
+        native = session.shards[1].stats()["vector_backend"]
+        session.shards[0]._columns = _StubColumns()
+        merged = session.stats()["vector_backend"]
+        assert merged == "mixed:" + ",".join(sorted(["stub", native]))
+
+    def test_shard_without_columns_reports_mixed_none(self):
+        session = self._session()
+        native = session.shards[1].stats()["vector_backend"]
+        session.shards[0]._columns = None
+        merged = session.stats()["vector_backend"]
+        assert merged == "mixed:" + ",".join(sorted(["none", native]))
+        # ...which is distinguishable from "no columnar backend anywhere".
+        for shard in session.shards:
+            shard._columns = None
+        assert session.stats()["vector_backend"] is None

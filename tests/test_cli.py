@@ -165,3 +165,45 @@ class TestCli:
         assert "warm start: cold build" in text
         assert "warm start: could not save state" in text
         assert "I_MI = 1.0" in text
+
+
+class TestStatsFlag:
+    def test_stats_prints_session_counters(self, csv_file):
+        code, text = invoke(
+            [
+                str(csv_file),
+                "--relation",
+                "R",
+                "--fd",
+                "R: Name -> Country",
+                "--measures",
+                "I_MI",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "I_MI = 1.0" in text
+        assert '"engine"' in text
+        assert '"vector_backend"' in text
+        # Without a warm-start path the session is stats-only: no
+        # snapshot chatter, no state file expected.
+        assert "warm start:" not in text
+
+    def test_stats_composes_with_warm_start(self, csv_file, tmp_path):
+        snap = tmp_path / "state.snap"
+        code, text = invoke(
+            [
+                str(csv_file),
+                "--relation",
+                "R",
+                "--fd",
+                "R: Name -> Country",
+                "--warm-start",
+                str(snap),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "warm start: cold build" in text
+        assert '"engine"' in text
+        assert snap.exists()
