@@ -9,6 +9,14 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.11",
+    entry_points={
+        "console_scripts": [
+            # The invariant lint engine (repro/analysis): AST contract
+            # checks for determinism, preview purity, import hygiene,
+            # fault-point registration and component read-set discipline.
+            "repro-lint=repro.analysis.cli:main",
+        ],
+    },
     # The core package is dependency-free on purpose: every solver has a
     # pure-python implementation, and the optional backends below only
     # *sharpen* results (the anytime chain reports status=FALLBACK and

@@ -1,0 +1,41 @@
+"""Invariant lint engine: AST-based checks for the codebase's contracts.
+
+The runtime conformance suites verify the engine's invariants
+*dynamically* — randomized trace equivalence against the from-scratch
+oracle.  This package is the static half: it checks, at the source level,
+the structural properties those suites rely on but can only sample —
+deterministic iteration on bit-identity-critical paths, a write-free
+speculation preview, optional dependencies that stay out of the default
+import graph, a closed fault-point registry, and the componentwise
+read-set discipline behind the value cache.
+
+Usage::
+
+    python -m repro.analysis src tests          # or: repro-lint
+    python -m repro.analysis --format=json src  # CI annotation feed
+    python -m repro.analysis --list-rules
+
+Findings are silenced inline with ``# repro: allow(rule-name)`` on the
+flagged line (or the line above), or grandfathered in a baseline file
+(``--baseline``); the shipped baseline is empty.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .core import AnalysisResult, Finding, Project, Rule, SourceModule
+from .engine import collect, run
+from .rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "collect",
+    "default_rules",
+    "run",
+]

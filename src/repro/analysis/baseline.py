@@ -1,0 +1,90 @@
+"""Grandfathered-finding baseline.
+
+A baseline lets the lint gate turn on red-free while debt is paid down:
+known findings are recorded as ``finding key -> count`` and silently
+swallowed, and anything *beyond* the recorded count — a new site, a new
+rule, a regression — still fails.  Keys are line-independent
+(``rule::path::message``) so unrelated edits that shift line numbers do
+not churn the file; within one file+message, occurrences aggregate by
+count.
+
+The shipped baseline is **empty**: every pre-existing true positive was
+fixed when the gate landed.  The machinery stays because the next
+contract (a sixth rule, a widened manifest) will not always land with a
+clean tree in one PR.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .core import Finding
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: Counter[str] = Counter(counts or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}"
+            )
+        counts = payload.get("findings", {})
+        if not all(
+            isinstance(key, str) and isinstance(count, int) and count > 0
+            for key, count in counts.items()
+        ):
+            raise ValueError(f"malformed baseline counts in {path}")
+        return cls(counts)
+
+    def dump(self, path: str | Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "findings": dict(sorted(self.counts.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.counts[finding.key] += 1
+        return baseline
+
+    # ------------------------------------------------------------------
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split *findings* into (fresh, grandfathered).
+
+        The first ``counts[key]`` occurrences of each key (in report
+        order) are grandfathered; the rest are fresh.
+        """
+        remaining = Counter(self.counts)
+        fresh: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            if remaining[finding.key] > 0:
+                remaining[finding.key] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

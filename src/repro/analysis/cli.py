@@ -1,0 +1,126 @@
+"""Command-line entry: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 clean, 1 findings (or parse errors), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import Baseline
+from .engine import collect, run
+from .reporting import render_json, render_text
+from .rules import ALL_RULES, default_rules
+
+#: Picked up automatically when present next to the invocation directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant lints for the repro codebase: determinism, "
+            "preview purity, optional-dependency import hygiene, the "
+            "fault-point registry, and componentwise read-set discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is what the CI annotator consumes)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the surviving findings out as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.name:20s} {cls.description}")
+        return 0
+
+    only = None
+    if options.rules:
+        only = {name.strip() for name in options.rules.split(",") if name.strip()}
+    try:
+        rules = default_rules(only)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    baseline = None
+    if not options.no_baseline and options.write_baseline is None:
+        baseline_path = options.baseline
+        if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+            baseline_path = DEFAULT_BASELINE
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, ValueError, TypeError) as exc:
+                print(f"repro-lint: cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+
+    project = collect(options.paths)
+    result = run(project, rules, baseline=baseline)
+
+    if options.write_baseline is not None:
+        Baseline.from_findings(result.findings).dump(options.write_baseline)
+        print(
+            f"repro-lint: wrote {len(result.findings)} finding(s) to "
+            f"{options.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if options.format == "json":
+        render_json(result, sys.stdout)
+    else:
+        render_text(result, sys.stdout)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,197 @@
+"""Core object model of the invariant lint engine.
+
+The engine verifies application-specific contracts — bit-identical float
+summation order, read-only speculation previews, lazy optional-dependency
+imports, a closed fault-point registry — by analyzing the program source
+directly (AST level), the static complement to the randomized runtime
+conformance suites.  This module holds the pieces every rule shares:
+
+* :class:`SourceModule` — one parsed file (AST + raw lines + dotted module
+  name + realm), the unit rules visit;
+* :class:`Project` — the whole analyzed tree, for rules that need a global
+  view (call graphs, registries, import graphs);
+* :class:`Finding` — one diagnostic, with the stable key the baseline and
+  the suppression machinery match on;
+* :class:`Rule` — the per-rule interface (per-module visit + project-wide
+  finish pass);
+* suppression pragmas — ``# repro: allow(rule-name)`` on the flagged line
+  or the line directly above silences that rule there.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Pragma syntax: ``# repro: allow(rule-a)`` / ``# repro: allow(rule-a, rule-b)``.
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    rule: str
+    path: str  # posix-style, as collected (relative when the input was)
+    line: int
+    col: int
+    message: str
+    #: Optional enclosing symbol (``Class.method`` / function name).
+    symbol: str = ""
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used by the baseline.
+
+        Keyed on ``rule :: path :: message`` (not the line number) so
+        unrelated edits shifting lines do not churn a grandfathered
+        baseline; equal findings in one file aggregate by count.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}"
+        context = f" [{self.symbol}]" if self.symbol else ""
+        return f"{location}: {self.rule}: {self.message}{context}"
+
+
+class SourceModule:
+    """One parsed source file, as rules see it."""
+
+    def __init__(
+        self,
+        path: Path,
+        display_path: str,
+        name: str,
+        realm: str,
+        source: str,
+        tree: ast.Module,
+    ) -> None:
+        self.path = path
+        #: The path findings report (posix, relative to the invocation).
+        self.display_path = display_path
+        #: Dotted module name (``repro.session.session``) when the file
+        #: lives in a package, the bare stem otherwise.
+        self.name = name
+        #: ``"src"`` (inside the analyzed package), ``"tests"`` or ``"other"``.
+        self.realm = realm
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._allowed: dict[int, set[str]] | None = None
+
+    # ------------------------------------------------------------------
+    # Suppression pragmas
+    # ------------------------------------------------------------------
+    def allowed_rules(self) -> dict[int, set[str]]:
+        """``line number -> rule names`` allowed by pragmas (1-based)."""
+        if self._allowed is None:
+            allowed: dict[int, set[str]] = {}
+            for number, text in enumerate(self.lines, start=1):
+                match = _PRAGMA.search(text)
+                if match:
+                    names = {
+                        chunk.strip()
+                        for chunk in match.group(1).split(",")
+                        if chunk.strip()
+                    }
+                    if names:
+                        allowed[number] = names
+            self._allowed = allowed
+        return self._allowed
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether a pragma on the finding's line (or the one above) allows it.
+
+        ``allow(*)`` silences every rule on that line.
+        """
+        allowed = self.allowed_rules()
+        for line in (finding.line, finding.line - 1):
+            names = allowed.get(line)
+            if names and (finding.rule in names or "*" in names):
+                return True
+        return False
+
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        symbol: str = "",
+    ) -> Finding:
+        """Build a finding anchored at *node*."""
+        return Finding(
+            rule=rule,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=symbol,
+        )
+
+
+class Project:
+    """The full analyzed tree: every collected module plus lookup tables."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+        self.by_name: dict[str, SourceModule] = {}
+        for module in self.modules:
+            # First collection wins: duplicate basenames outside packages
+            # are possible but never looked up by rules.
+            self.by_name.setdefault(module.name, module)
+        #: Files that failed to parse, reported as findings by the engine.
+        self.errors: list[Finding] = []
+
+    def realm(self, realm: str) -> Iterator[SourceModule]:
+        return (module for module in self.modules if module.realm == realm)
+
+    def module(self, name: str) -> SourceModule | None:
+        return self.by_name.get(name)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    ``check_module`` runs once per collected file; ``finish`` runs once at
+    the end with the whole project (call-graph and registry rules live
+    there).  Either may be a no-op.
+    """
+
+    #: Rule identifier: the name pragmas, baselines and ``--rules`` use.
+    name: str = "rule"
+    #: One-line description for ``--list-rules`` and the README catalog.
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class AnalysisResult:
+    """What a run produced, post-suppression and post-baseline."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings matched (and swallowed) by the baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Findings silenced by ``# repro: allow(...)`` pragmas.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: How many files were analyzed.
+    files: int = 0
+    #: Which rules ran (names, in run order).
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def qualname(cls: str | None, func: str) -> str:
+    """``Class.method`` or bare function name — the symbol shown in findings."""
+    return f"{cls}.{func}" if cls else func

@@ -1,0 +1,149 @@
+"""Collection and orchestration: files in, findings out.
+
+``collect`` turns path arguments into a :class:`~repro.analysis.core.Project`
+(parsing every ``.py`` file, computing dotted module names from the
+``__init__.py`` chain, and classifying each file into the ``src`` /
+``tests`` / ``other`` realm).  ``run`` drives the rules over the project
+and applies the two silencing layers in order: inline ``# repro: allow``
+pragmas first, then the grandfathered baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from . import config
+from .baseline import Baseline
+from .core import AnalysisResult, Finding, Project, Rule, SourceModule
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist", ".eggs"}
+)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the ``__init__.py`` chain above *path*.
+
+    Walking up while ``__init__.py`` exists recovers the real import name
+    (``repro.session.session``) regardless of where the package root sits
+    (``src/`` layouts included).  Files outside any package keep their bare
+    stem — unique enough for the realms rules look at.
+    """
+    parts: list[str] = []
+    if path.stem != "__init__":
+        parts.append(path.stem)
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(reversed(parts)) if parts else path.stem
+
+
+def realm_for(path: Path, name: str, package_root: str) -> str:
+    if name == package_root or name.startswith(package_root + "."):
+        return "src"
+    if "tests" in path.parts or path.stem.startswith("test_"):
+        return "tests"
+    return "other"
+
+
+def _iter_python_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for candidate in sorted(root.rglob("*.py")):
+        if not any(part in _SKIP_DIRS for part in candidate.parts):
+            yield candidate
+
+
+def collect(
+    paths: Sequence[str | Path],
+    package_root: str = config.PACKAGE_ROOT,
+) -> Project:
+    """Parse every Python file under *paths* into a project."""
+    modules: list[SourceModule] = []
+    errors: list[Finding] = []
+    cwd = Path.cwd()
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        for path in _iter_python_files(root):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                display = resolved.relative_to(cwd).as_posix()
+            except ValueError:
+                display = path.as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                errors.append(
+                    Finding(
+                        rule="parse-error",
+                        path=display,
+                        line=line,
+                        col=1,
+                        message=f"failed to parse: {exc}",
+                    )
+                )
+                continue
+            name = module_name_for(resolved)
+            modules.append(
+                SourceModule(
+                    path=path,
+                    display_path=display,
+                    name=name,
+                    realm=realm_for(resolved, name, package_root),
+                    source=source,
+                    tree=tree,
+                )
+            )
+    project = Project(modules)
+    project.errors = errors
+    return project
+
+
+def run(
+    project: Project,
+    rules: Sequence[Rule],
+    baseline: Baseline | None = None,
+) -> AnalysisResult:
+    """Run *rules* over *project*, applying pragmas then the baseline."""
+    result = AnalysisResult(
+        files=len(project.modules),
+        rules=[rule.name for rule in rules],
+    )
+    raw: list[Finding] = list(project.errors)
+    for rule in rules:
+        for module in project.modules:
+            raw.extend(rule.check_module(module))
+        raw.extend(rule.finish(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+
+    by_path = {module.display_path: module for module in project.modules}
+    surviving: list[Finding] = []
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppresses(finding):
+            result.suppressed.append(finding)
+        else:
+            surviving.append(finding)
+
+    if baseline is not None:
+        fresh, grandfathered = baseline.apply(surviving)
+        result.findings = fresh
+        result.baselined = grandfathered
+    else:
+        result.findings = surviving
+    return result

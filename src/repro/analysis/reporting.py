@@ -1,0 +1,54 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON shape is what the CI job consumes to emit per-line annotations
+(``::error file=...,line=...``): a flat ``findings`` list with
+``rule``/``path``/``line``/``col``/``message``/``symbol`` per entry plus
+run metadata, so the workflow needs nothing beyond ``jq``-level access.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .core import AnalysisResult, Finding
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "symbol": finding.symbol,
+        "key": finding.key,
+    }
+
+
+def render_text(result: AnalysisResult, stream: IO[str]) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=stream)
+    bits = [
+        f"{len(result.findings)} finding(s)",
+        f"{result.files} file(s)",
+        f"{len(result.rules)} rule(s)",
+    ]
+    if result.baselined:
+        bits.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        bits.append(f"{len(result.suppressed)} suppressed by pragma")
+    print(("OK: " if result.clean else "FAIL: ") + ", ".join(bits), file=stream)
+
+
+def render_json(result: AnalysisResult, stream: IO[str]) -> None:
+    payload = {
+        "clean": result.clean,
+        "files": result.files,
+        "rules": result.rules,
+        "findings": [_finding_dict(finding) for finding in result.findings],
+        "baselined": [_finding_dict(finding) for finding in result.baselined],
+        "suppressed": len(result.suppressed),
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")

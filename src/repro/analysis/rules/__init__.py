@@ -1,0 +1,52 @@
+"""The rule catalog.
+
+Each rule encodes one contract from :mod:`repro.analysis.config`; the
+engine runs them in this order (stable, so text reports diff cleanly).
+"""
+
+from __future__ import annotations
+
+from ..core import Rule
+from .determinism import DeterminismRule
+from .faultpoints import FaultRegistryRule
+from .imports import ImportHygieneRule
+from .preview import PreviewPurityRule
+from .readset import ComponentReadSetRule
+
+#: Rule classes, in run order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    ImportHygieneRule,
+    PreviewPurityRule,
+    FaultRegistryRule,
+    ComponentReadSetRule,
+)
+
+
+def default_rules(only: set[str] | None = None) -> list[Rule]:
+    """Instantiate the catalog with the manifest defaults.
+
+    *only* restricts to the named rules (unknown names raise).
+    """
+    rules = [cls() for cls in ALL_RULES]
+    if only is None:
+        return rules
+    known = {rule.name for rule in rules}
+    unknown = only - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in rules if rule.name in only]
+
+
+__all__ = [
+    "ALL_RULES",
+    "ComponentReadSetRule",
+    "DeterminismRule",
+    "FaultRegistryRule",
+    "ImportHygieneRule",
+    "PreviewPurityRule",
+    "default_rules",
+]

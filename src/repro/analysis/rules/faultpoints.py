@@ -1,0 +1,257 @@
+"""Fault-point registry check: every drill point registered and drilled.
+
+The graceful-degradation story rests on named injection points
+(``faults.trip("shard.fanout")`` and friends): each marks a hard failure
+path that must land in a defined state, and the drill suite arms them
+deterministically.  A point that exists in production code but not in the
+registry — or in the registry but in no test — is a degradation path
+nobody ever drills, which is exactly the late-probabilistic gap this lint
+pack closes.
+
+Checks (``REGISTERED_POINTS`` in :data:`~repro.analysis.config.FAULTS_REGISTRY_MODULE`
+is the ground truth):
+
+* every point *used* in ``src/`` (argument of ``trip``/``fires``, resolved
+  through module-level ``FAULT_*`` string constants and module aliases)
+  must be registered;
+* every ``FAULT_*`` string constant *declared* in ``src/`` must be
+  registered (a declared-but-never-tripped constant is also flagged as
+  unused);
+* every registered point must be used somewhere in ``src/`` (no stale
+  registry entries);
+* every registered point must be referenced by ``tests/`` — by literal
+  string or by the name of a constant bound to it;
+* ``trip``/``fires`` arguments that are neither literals nor resolvable
+  constants are flagged: dynamic point names defeat this check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .. import config
+from ..astutil import module_aliases, module_string_constants
+from ..core import Finding, Project, Rule, SourceModule
+
+
+class FaultRegistryRule(Rule):
+    name = "fault-registry"
+    description = (
+        "every fault-point string in src/ is registered in the fault "
+        "registry and drilled by a test"
+    )
+
+    def __init__(
+        self,
+        registry_module: str = config.FAULTS_REGISTRY_MODULE,
+        constant_prefix: str = "FAULT_",
+    ) -> None:
+        self.registry_module = registry_module
+        self.constant_prefix = constant_prefix
+
+    # ------------------------------------------------------------------
+    def finish(self, project: Project) -> Iterable[Finding]:
+        registry_source = project.module(self.registry_module)
+        if registry_source is None:
+            return  # nothing to check against (fixture projects)
+        registered = self._registry_points(registry_source)
+        if registered is None:
+            yield registry_source.finding(
+                self.name,
+                registry_source.tree,
+                "fault registry module defines no REGISTERED_POINTS "
+                "frozenset literal",
+            )
+            return
+
+        used: dict[str, list[tuple[SourceModule, ast.AST]]] = {}
+        declared: dict[str, list[tuple[SourceModule, ast.AST, str]]] = {}
+        for module in project.realm("src"):
+            if module.name == self.registry_module:
+                continue
+            constants = {
+                name: node.value.value  # type: ignore[union-attr]
+                for name, node in module_string_constants(module.tree).items()
+                if name.startswith(self.constant_prefix)
+            }
+            for name, node in module_string_constants(module.tree).items():
+                if name.startswith(self.constant_prefix):
+                    declared.setdefault(constants[name], []).append(
+                        (module, node, name)
+                    )
+            yield from self._collect_uses(module, constants, project, used)
+
+        # Used but unregistered.
+        for point, sites in sorted(used.items()):
+            if point not in registered:
+                module, node = sites[0]
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"fault point '{point}' is used but not registered in "
+                    f"{self.registry_module}.REGISTERED_POINTS",
+                )
+        # Declared but unregistered (even if we never saw the trip site).
+        for point, sites in sorted(declared.items()):
+            if point not in registered and point not in used:
+                module, node, name = sites[0]
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"fault-point constant {name} = '{point}' is not "
+                    f"registered in {self.registry_module}.REGISTERED_POINTS",
+                )
+        # Registered but never used in src.
+        for point in sorted(registered):
+            if point not in used and point not in declared:
+                yield registry_source.finding(
+                    self.name,
+                    registry_source.tree,
+                    f"registered fault point '{point}' is wired into no "
+                    f"src/ injection site (stale registry entry)",
+                )
+        # Registered but drilled by no test.
+        test_refs = self._test_references(
+            project, declared, registered | set(used)
+        )
+        for point in sorted(registered):
+            if point in used and point not in test_refs:
+                yield registry_source.finding(
+                    self.name,
+                    registry_source.tree,
+                    f"registered fault point '{point}' is referenced by no "
+                    f"test (undrilled degradation path)",
+                )
+
+    # ------------------------------------------------------------------
+    def _registry_points(self, module: SourceModule) -> frozenset[str] | None:
+        for node in module.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "REGISTERED_POINTS"
+                ):
+                    return self._literal_strings(value)
+        return None
+
+    def _literal_strings(self, node: ast.expr | None) -> frozenset[str] | None:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "frozenset" and node.args:
+                node = node.args[0]
+        if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+            values = []
+            for element in node.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    return None
+                values.append(element.value)
+            return frozenset(values)
+        return None
+
+    # ------------------------------------------------------------------
+    def _collect_uses(
+        self,
+        module: SourceModule,
+        local_constants: dict[str, str],
+        project: Project,
+        used: dict[str, list[tuple[SourceModule, ast.AST]]],
+    ) -> Iterable[Finding]:
+        aliases = module_aliases(module.tree, module.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name not in {"trip", "fires"} or not node.args:
+                continue
+            point = self._resolve_point(
+                node.args[0], module, local_constants, aliases, project
+            )
+            if point is None:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"{name}() argument is not a literal or module-level "
+                    f"string constant; fault points must be statically "
+                    f"resolvable",
+                )
+            else:
+                used.setdefault(point, []).append((module, node))
+
+    def _resolve_point(
+        self,
+        arg: ast.expr,
+        module: SourceModule,
+        local_constants: dict[str, str],
+        aliases: dict[str, str],
+        project: Project,
+    ) -> str | None:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.Name):
+            value = local_constants.get(arg.id)
+            if value is not None:
+                return value
+            # A constant imported via ``from x import FAULT_Y``.
+            target = aliases.get(arg.id)
+            if target and "." in target:
+                source_mod, _, const = target.rpartition(".")
+                return self._module_constant(project, source_mod, const)
+        if isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
+            source = aliases.get(arg.value.id)
+            if source is not None:
+                return self._module_constant(project, source, arg.attr)
+        return None
+
+    def _module_constant(
+        self, project: Project, module_name: str, constant: str
+    ) -> str | None:
+        source = project.module(module_name)
+        if source is None:
+            return None
+        node = module_string_constants(source.tree).get(constant)
+        if node is None:
+            return None
+        assert isinstance(node.value, ast.Constant)
+        return node.value.value
+
+    # ------------------------------------------------------------------
+    def _test_references(
+        self,
+        project: Project,
+        declared: dict[str, list[tuple[SourceModule, ast.AST, str]]],
+        candidates: set[str],
+    ) -> set[str]:
+        """Points referenced by tests — by literal or by constant name."""
+        name_of: dict[str, set[str]] = {}
+        for point, sites in declared.items():
+            for _, _, constant in sites:
+                name_of.setdefault(constant, set()).add(point)
+        referenced: set[str] = set()
+        for module in project.realm("tests"):
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    if node.value in candidates:
+                        referenced.add(node.value)
+                elif isinstance(node, ast.Name) and node.id in name_of:
+                    referenced.update(name_of[node.id])
+                elif isinstance(node, ast.Attribute) and node.attr in name_of:
+                    referenced.update(name_of[node.attr])
+                elif isinstance(node, ast.alias) and node.name in name_of:
+                    referenced.update(name_of[node.name])
+        return referenced

@@ -15,8 +15,10 @@ heuristic) to tighten pruning, and a node budget to bound worst-case work.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-import numpy as np
+if TYPE_CHECKING:
+    import numpy as np
 
 from .simplex import LpProblem, LpRow, LpStatus, Sense, solve_lp
 
@@ -48,6 +50,8 @@ def solve_binary_ilp(
     :class:`BudgetExceeded` when *max_nodes* LP relaxations were solved
     without proving optimality.
     """
+    import numpy as np  # lazy: keeps the numpy-free leg importable
+
     base_rows = list(problem.rows)
     num_vars = problem.num_vars
     objective = problem.objective
@@ -153,6 +157,8 @@ def _feasible_against(rows: list[LpRow], vector: np.ndarray) -> bool:
 
 
 def _check_feasible(problem: LpProblem, vector: np.ndarray) -> None:
+    import numpy as np  # lazy: keeps the numpy-free leg importable
+
     candidate = np.asarray(vector, dtype=float)
     if candidate.shape != (problem.num_vars,):
         raise ValueError("incumbent has wrong dimension")

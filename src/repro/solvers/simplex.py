@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
-import numpy as np
+if TYPE_CHECKING:
+    import numpy as np
 
 
 class LpStatus(enum.Enum):
@@ -86,6 +87,8 @@ _EPS = 1e-9
 
 def solve_lp(problem: LpProblem) -> LpSolution:
     """Solve *problem* with the two-phase simplex method."""
+    import numpy as np  # lazy: keeps the numpy-free leg importable
+
     rows = list(problem.rows)
     if problem.upper_bounds:
         for var, bound in sorted(problem.upper_bounds.items()):
@@ -140,6 +143,8 @@ def solve_lp(problem: LpProblem) -> LpSolution:
 
 
 def _dense_objective(problem: LpProblem) -> np.ndarray:
+    import numpy as np  # lazy: keeps the numpy-free leg importable
+
     c = np.zeros(problem.num_vars)
     for var, coefficient in problem.objective.items():
         c[var] = coefficient
@@ -152,6 +157,8 @@ def _phase_one(A: np.ndarray, b: np.ndarray):
     Returns ``(basis, tableau)`` where *tableau* is ``[A | b]`` restricted to
     the original columns, or ``(None, None)`` when infeasible.
     """
+    import numpy as np  # lazy: keeps the numpy-free leg importable
+
     num_rows, total = A.shape
     wide = np.hstack([A, np.eye(num_rows), b.reshape(-1, 1)])
     basis = list(range(total, total + num_rows))
@@ -195,6 +202,8 @@ def _current_z_value(wide: np.ndarray, basis: list[int], cost: np.ndarray) -> fl
 
 def _phase_two(tableau: np.ndarray, basis: list[int], c: np.ndarray, total: int):
     """Optimize the real objective from a feasible basis."""
+    import numpy as np  # lazy: keeps the numpy-free leg importable
+
     z = c.copy().astype(float)
     for i, var in enumerate(basis):
         if var < total and abs(c[var]) > 0:

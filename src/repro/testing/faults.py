@@ -54,6 +54,36 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Mapping
 
 
+#: The closed registry of injection points wired into production code.
+#: The ``fault-registry`` lint rule (``python -m repro.analysis``) checks
+#: both directions against this set: every ``trip``/``fires`` argument and
+#: ``FAULT_*`` constant in ``src/`` must be registered here, and every
+#: entry here must be wired into production code and referenced by a test.
+#: Points prefixed ``test.`` are exempt from registration — they exist for
+#: exercising this framework itself.
+REGISTERED_POINTS = frozenset(
+    {
+        "solver.deadline",
+        "solver.backend",
+        "snapshot.write",
+        "shard.fanout",
+        "ingest.flush",
+    }
+)
+
+#: Escape hatch for the framework's own unit drills.
+_TEST_PREFIX = "test."
+
+
+def _check_registered(point: str) -> None:
+    if point not in REGISTERED_POINTS and not point.startswith(_TEST_PREFIX):
+        raise ValueError(
+            f"unregistered fault point {point!r}; add it to "
+            f"repro.testing.faults.REGISTERED_POINTS (or prefix it with "
+            f"{_TEST_PREFIX!r} for framework self-tests)"
+        )
+
+
 class FaultInjected(RuntimeError):
     """The default error raised by an armed hard injection point."""
 
@@ -103,6 +133,8 @@ class FaultPlan:
         self.seed = seed
         self._arms: dict[str, _Arm] = {}
         self._rates = dict(rates or {})
+        for rate_point in self._rates:
+            _check_registered(rate_point)
         self._streams: dict[str, random.Random] = {}
         #: point → occurrences that actually fired (drill assertions).
         self.fired: dict[str, int] = {}
@@ -119,8 +151,11 @@ class FaultPlan:
 
         ``times=None`` fires on every occurrence past *after*.  *error*
         builds the exception hard points raise (default
-        :class:`FaultInjected`).
+        :class:`FaultInjected`).  Arming a point outside
+        :data:`REGISTERED_POINTS` raises — a drill against a point that no
+        production code fires would silently test nothing.
         """
+        _check_registered(point)
         self._arms[point] = _Arm(after, times, error)
 
     def decide(self, point: str) -> bool:

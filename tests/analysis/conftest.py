@@ -1,0 +1,12 @@
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    root = Path(__file__).resolve().parents[2]
+    assert (root / "src" / "repro").is_dir()
+    return root

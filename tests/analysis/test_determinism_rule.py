@@ -1,0 +1,209 @@
+"""The determinism rule: fires on bad snippets, stays quiet on clean ones."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import DeterminismRule
+
+from .util import findings_of, make_module, surviving
+
+CRITICAL = "repro.session.session"  # any manifest bit-critical module
+
+
+class TestIdSortKey:
+    def test_sorted_by_id_fires(self):
+        module = make_module(
+            "repro.util",
+            """
+            def order(items):
+                return sorted(items, key=id)
+            """,
+        )
+        (finding,) = findings_of(DeterminismRule(), module)
+        assert "id()-based sort key" in finding.message
+
+    def test_lambda_id_key_fires(self):
+        module = make_module(
+            "repro.util",
+            """
+            def order(items):
+                items.sort(key=lambda item: (id(item), item))
+            """,
+        )
+        assert findings_of(DeterminismRule(), module)
+
+    def test_fires_in_tests_realm_too(self):
+        module = make_module(
+            "test_order",
+            "rows = sorted([], key=id)\n",
+            realm="tests",
+            path="tests/test_order.py",
+        )
+        assert findings_of(DeterminismRule(), module)
+
+    def test_id_as_dict_key_is_clean(self):
+        module = make_module(
+            "repro.util",
+            """
+            def memo(items):
+                return {id(item): item for item in items}
+            """,
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+    def test_content_key_is_clean(self):
+        module = make_module(
+            "repro.util",
+            "def order(items):\n    return sorted(items, key=len)\n",
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+
+class TestSetConsumption:
+    def test_list_over_set_fires_in_critical_module(self):
+        module = make_module(
+            CRITICAL,
+            "def emit(facts):\n    return list({f for f in facts})\n",
+        )
+        (finding,) = findings_of(DeterminismRule(), module)
+        assert "hash order" in finding.message
+
+    def test_sum_over_set_fires(self):
+        module = make_module(
+            CRITICAL,
+            "def total(parts):\n    return sum(set(parts))\n",
+        )
+        assert findings_of(DeterminismRule(), module)
+
+    def test_sum_genexp_over_set_fires(self):
+        module = make_module(
+            CRITICAL,
+            "def total(parts):\n    return sum(p.value for p in set(parts))\n",
+        )
+        assert findings_of(DeterminismRule(), module)
+
+    def test_keyed_min_over_set_fires(self):
+        module = make_module(
+            CRITICAL,
+            "def pick(xs):\n    return min({x for x in xs}, key=str)\n",
+        )
+        assert findings_of(DeterminismRule(), module)
+
+    def test_unkeyed_min_over_set_is_clean(self):
+        # Total order on the elements themselves: no tie to break.
+        module = make_module(
+            CRITICAL,
+            "def pick(xs):\n    return min({x for x in xs})\n",
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+    def test_for_over_set_fires(self):
+        module = make_module(
+            CRITICAL,
+            """
+            def walk(xs):
+                for x in {x for x in xs}:
+                    yield x
+            """,
+        )
+        assert findings_of(DeterminismRule(), module)
+
+    def test_sorted_iteration_is_clean(self):
+        module = make_module(
+            CRITICAL,
+            """
+            def walk(xs):
+                for x in sorted({x for x in xs}):
+                    yield x
+            """,
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+    def test_non_critical_module_not_checked(self):
+        module = make_module(
+            "repro.experiments.report",
+            "def emit(facts):\n    return list({f for f in facts})\n",
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+
+class TestRandomAndClock:
+    def test_global_random_fires_in_src(self):
+        module = make_module(
+            "repro.util",
+            "import random\n\ndef roll():\n    return random.random()\n",
+        )
+        (finding,) = findings_of(DeterminismRule(), module)
+        assert "unseeded" in finding.message
+
+    def test_seeded_instance_is_clean(self):
+        module = make_module(
+            "repro.util",
+            """
+            import random
+
+            def roll(seed):
+                return random.Random(seed).random()
+            """,
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+    def test_global_random_allowed_in_tests(self):
+        module = make_module(
+            "test_roll",
+            "import random\nvalue = random.random()\n",
+            realm="tests",
+            path="tests/test_roll.py",
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+    def test_wall_clock_fires_outside_timing_modules(self):
+        module = make_module(
+            "repro.util",
+            "import time\n\ndef stamp():\n    return time.perf_counter()\n",
+        )
+        (finding,) = findings_of(DeterminismRule(), module)
+        assert "wall-clock" in finding.message
+
+    def test_wall_clock_allowed_in_designated_module(self):
+        module = make_module(
+            "repro.solvers.anytime",
+            "import time\n\ndef now():\n    return time.monotonic()\n",
+        )
+        assert not findings_of(DeterminismRule(), module)
+
+    def test_datetime_now_fires(self):
+        module = make_module(
+            "repro.util",
+            "import datetime\n\ndef stamp():\n    return datetime.datetime.now()\n",
+        )
+        assert findings_of(DeterminismRule(), module)
+
+
+class TestPragma:
+    def test_pragma_on_line_silences(self):
+        module = make_module(
+            "repro.util",
+            "rows = sorted([], key=id)  # repro: allow(determinism)\n",
+        )
+        assert not surviving(DeterminismRule(), module)
+
+    def test_pragma_on_line_above_silences(self):
+        module = make_module(
+            "repro.util",
+            "# repro: allow(determinism)\nrows = sorted([], key=id)\n",
+        )
+        assert not surviving(DeterminismRule(), module)
+
+    def test_wildcard_pragma_silences(self):
+        module = make_module(
+            "repro.util",
+            "rows = sorted([], key=id)  # repro: allow(*)\n",
+        )
+        assert not surviving(DeterminismRule(), module)
+
+    def test_wrong_rule_pragma_does_not_silence(self):
+        module = make_module(
+            "repro.util",
+            "rows = sorted([], key=id)  # repro: allow(import-hygiene)\n",
+        )
+        assert surviving(DeterminismRule(), module)

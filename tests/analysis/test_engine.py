@@ -1,0 +1,164 @@
+"""Engine mechanics: collection, baselines, reporters, CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, Finding, Project
+from repro.analysis.cli import main
+from repro.analysis.engine import collect, module_name_for, realm_for, run
+from repro.analysis.rules import DeterminismRule, default_rules
+
+from .util import make_module
+
+
+class TestCollect:
+    def test_package_module_names_and_realms(self, tmp_path: Path):
+        package = tmp_path / "src" / "repro"
+        (package / "sub").mkdir(parents=True)
+        (package / "__init__.py").write_text("")
+        (package / "sub" / "__init__.py").write_text("")
+        (package / "sub" / "mod.py").write_text("x = 1\n")
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_mod.py").write_text("y = 2\n")
+
+        project = collect([tmp_path])
+        names = {module.name: module.realm for module in project.modules}
+        assert names["repro.sub.mod"] == "src"
+        assert names["repro.sub"] == "src"  # the __init__ itself
+        assert names["test_mod"] == "tests"
+
+    def test_parse_error_reported_as_finding(self, tmp_path: Path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        project = collect([bad])
+        assert not project.modules
+        (finding,) = project.errors
+        assert finding.rule == "parse-error"
+
+    def test_module_name_outside_package_is_stem(self, tmp_path: Path):
+        loose = tmp_path / "script.py"
+        loose.write_text("z = 3\n")
+        assert module_name_for(loose) == "script"
+        assert realm_for(loose, "script", "repro") == "other"
+
+
+class TestBaseline:
+    def _finding(self, message: str, line: int = 1) -> Finding:
+        return Finding(
+            rule="determinism",
+            path="repro/util.py",
+            line=line,
+            col=1,
+            message=message,
+        )
+
+    def test_baselined_findings_are_swallowed(self):
+        findings = [self._finding("bad thing")]
+        baseline = Baseline.from_findings(findings)
+        fresh, grandfathered = baseline.apply(findings)
+        assert not fresh and len(grandfathered) == 1
+
+    def test_extra_occurrences_beyond_count_are_fresh(self):
+        baseline = Baseline.from_findings([self._finding("bad thing")])
+        fresh, grandfathered = baseline.apply(
+            [self._finding("bad thing", line=1), self._finding("bad thing", line=9)]
+        )
+        assert len(grandfathered) == 1 and len(fresh) == 1
+
+    def test_key_is_line_independent(self):
+        baseline = Baseline.from_findings([self._finding("bad thing", line=5)])
+        fresh, _ = baseline.apply([self._finding("bad thing", line=500)])
+        assert not fresh
+
+    def test_round_trip(self, tmp_path: Path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self._finding("bad thing")]).dump(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+
+    def test_version_mismatch_rejected(self, tmp_path: Path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_engine_applies_baseline(self):
+        module = make_module("repro.util", "rows = sorted([], key=id)\n")
+        rule = DeterminismRule()
+        first = run(Project([module]), [rule])
+        assert not first.clean
+        baseline = Baseline.from_findings(first.findings)
+        second = run(Project([module]), [rule], baseline=baseline)
+        assert second.clean and len(second.baselined) == 1
+
+
+class TestCli:
+    def _write_bad_tree(self, tmp_path: Path) -> Path:
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "__init__.py").write_text("")
+        (package / "util.py").write_text("rows = sorted([], key=id)\n")
+        return tmp_path
+
+    def test_exit_codes(self, tmp_path: Path, monkeypatch, capsys):
+        root = self._write_bad_tree(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["repro"]) == 1
+        (root / "repro" / "util.py").write_text("rows = sorted([])\n")
+        assert main(["repro"]) == 0
+
+    def test_json_format_shape(self, tmp_path: Path, monkeypatch, capsys):
+        root = self._write_bad_tree(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["--format=json", "repro"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "determinism"
+        assert finding["path"] == "repro/util.py"
+        assert finding["line"] == 1
+
+    def test_write_and_use_baseline(self, tmp_path: Path, monkeypatch, capsys):
+        root = self._write_bad_tree(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["--write-baseline", "base.json", "repro"]) == 0
+        assert main(["--baseline", "base.json", "repro"]) == 0
+        assert main(["--no-baseline", "repro"]) == 1
+
+    def test_default_baseline_discovered(self, tmp_path: Path, monkeypatch, capsys):
+        root = self._write_bad_tree(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["--write-baseline", ".repro-lint-baseline.json", "repro"]) == 0
+        assert main(["repro"]) == 0
+
+    def test_rules_subset_and_unknown(self, tmp_path: Path, monkeypatch, capsys):
+        root = self._write_bad_tree(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["--rules", "import-hygiene", "repro"]) == 0
+        with pytest.raises(SystemExit):
+            main(["--rules", "no-such-rule", "repro"])
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in default_rules():
+            assert rule.name in out
+
+    def test_module_entry_point_runs(self, repo_root: Path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            cwd=repo_root,
+            env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "determinism" in result.stdout

@@ -1,0 +1,115 @@
+"""Whole-tree conformance: the shipped tree is lint-clean, regressions fail.
+
+The first half is the gate itself: running every rule over the real
+``src``/``tests`` tree must produce zero non-baselined findings (the
+shipped baseline is empty — the CI lint job runs exactly this).  The
+second half drills the acceptance scenarios: deliberately re-introducing
+each class of violation against the *real* manifest must fail.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Project, collect, run
+from repro.analysis.rules import default_rules
+
+from .util import make_module
+
+
+class TestRealTree:
+    def test_zero_findings_with_empty_baseline(self, repo_root: Path):
+        project = collect([repo_root / "src", repo_root / "tests"])
+        assert len(project.modules) > 150  # sanity: the real tree loaded
+        result = run(project, default_rules())
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.clean, f"lint regressions:\n{rendered}"
+
+    def test_real_tree_has_no_parse_errors(self, repo_root: Path):
+        project = collect([repo_root / "src", repo_root / "tests"])
+        assert not project.errors
+
+
+def _real_tree_plus(repo_root: Path, *extra) -> Project:
+    project = collect([repo_root / "src", repo_root / "tests"])
+    return Project(project.modules + list(extra))
+
+
+class TestAcceptanceDrills:
+    """Each contract violation, re-introduced, turns the gate red."""
+
+    def test_eager_numpy_import_fails(self, repo_root: Path):
+        bad = make_module(
+            "repro.solvers.fresh_kernel", "import numpy as np\n"
+        )
+        result = run(_real_tree_plus(repo_root, bad), default_rules())
+        assert any(
+            f.rule == "import-hygiene" and "numpy" in f.message
+            for f in result.findings
+        )
+
+    def test_live_topology_write_under_preview_fails(self, repo_root: Path):
+        bad = make_module(
+            "repro.session.patch",
+            """
+            def leak(session, topology):
+                topology._component_of = {}
+            """,
+        )
+        # Shadows the real session module: extras come after the real tree,
+        # so this MeasurementSession.speculate_batch (a preview root) wins.
+        hook = make_module(
+            "repro.session.session",
+            """
+            from repro.session.patch import leak
+
+            class MeasurementSession:
+                def speculate_batch(self, deltas):
+                    leak(self, self.topology)
+            """,
+        )
+        result = run(_real_tree_plus(repo_root, bad, hook), default_rules())
+        assert any(
+            f.rule == "preview-purity" and "_component_of" in f.message
+            for f in result.findings
+        )
+
+    def test_unregistered_fault_point_fails(self, repo_root: Path):
+        bad = make_module(
+            "repro.session.fresh_path",
+            """
+            from repro.testing import faults
+
+            def risky():
+                faults.trip("fresh.unregistered")
+            """,
+        )
+        result = run(_real_tree_plus(repo_root, bad), default_rules())
+        assert any(
+            f.rule == "fault-registry" and "fresh.unregistered" in f.message
+            for f in result.findings
+        )
+
+    def test_off_contract_component_read_fails(self, repo_root: Path):
+        bad = make_module(
+            "repro.measures.fresh_measure",
+            """
+            from repro.measures.base import ComponentwiseMeasure
+
+            class FreshMeasure(ComponentwiseMeasure):
+                def component_value(self, constraints, database, component):
+                    return float(len(database.facts))
+            """,
+        )
+        result = run(_real_tree_plus(repo_root, bad), default_rules())
+        assert any(
+            f.rule == "component-readset" for f in result.findings
+        )
+
+    def test_id_sort_key_on_critical_path_fails(self, repo_root: Path):
+        bad = make_module(
+            "repro.session.fresh_order",
+            "def order(parts):\n    return sorted(parts, key=id)\n",
+        )
+        result = run(_real_tree_plus(repo_root, bad), default_rules())
+        assert any(f.rule == "determinism" for f in result.findings)

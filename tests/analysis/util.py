@@ -1,0 +1,49 @@
+"""In-memory fixture modules for exercising lint rules."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Project, Rule, SourceModule
+from repro.analysis.engine import run
+
+
+def make_module(
+    name: str,
+    source: str,
+    realm: str = "src",
+    path: str | None = None,
+) -> SourceModule:
+    """Parse *source* into a module with a chosen dotted name and realm.
+
+    Lets a test impersonate any module the manifest designates
+    (``repro.session.session``, the fault registry, ...) without touching
+    the real tree.
+    """
+    source = textwrap.dedent(source)
+    display = path or name.replace(".", "/") + ".py"
+    return SourceModule(
+        path=Path(display),
+        display_path=display,
+        name=name,
+        realm=realm,
+        source=source,
+        tree=ast.parse(source),
+    )
+
+
+def findings_of(rule: Rule, *modules: SourceModule):
+    """Raw findings of one rule over fixture modules (no suppression)."""
+    project = Project(list(modules))
+    found = []
+    for module in modules:
+        found.extend(rule.check_module(module))
+    found.extend(rule.finish(project))
+    return found
+
+
+def surviving(rule: Rule, *modules: SourceModule):
+    """Findings after pragma suppression (what the CLI would report)."""
+    return run(Project(list(modules)), [rule]).findings

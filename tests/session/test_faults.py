@@ -68,26 +68,26 @@ def _fresh_values(constraints, database, measures):
 
 class TestFaultPlanMechanics:
     def test_targeted_arm_fires_selected_occurrences(self):
-        with faults.inject("p", after=1, times=2) as plan:
-            assert [faults.fires("p") for _ in range(5)] == [
+        with faults.inject("test.p", after=1, times=2) as plan:
+            assert [faults.fires("test.p") for _ in range(5)] == [
                 False,
                 True,
                 True,
                 False,
                 False,
             ]
-            assert plan.fired["p"] == 2
+            assert plan.fired["test.p"] == 2
 
     def test_trip_raises_the_armed_error(self):
-        with faults.inject("p", error=lambda point: KeyError(point)):
+        with faults.inject("test.p", error=lambda point: KeyError(point)):
             with pytest.raises(KeyError):
-                faults.trip("p")
-            faults.trip("p")  # times=1: second occurrence is quiet
+                faults.trip("test.p")
+            faults.trip("test.p")  # times=1: second occurrence is quiet
 
     def test_seeded_rates_are_deterministic(self):
         def draw():
-            with faults.fault_plan(7, rates={"p": 0.5}):
-                return [faults.fires("p") for _ in range(32)]
+            with faults.fault_plan(7, rates={"test.p": 0.5}):
+                return [faults.fires("test.p") for _ in range(32)]
 
         first, second = draw(), draw()
         assert first == second
@@ -100,8 +100,8 @@ class TestFaultPlanMechanics:
                     pass
 
     def test_disarmed_points_are_quiet(self):
-        assert not faults.fires("p")
-        faults.trip("p")
+        assert not faults.fires("test.p")
+        faults.trip("test.p")
 
 
 class TestSolverDeadlineDrill:

@@ -4,7 +4,8 @@ import random
 from fractions import Fraction
 
 import pytest
-from scipy.optimize import linprog
+
+linprog = pytest.importorskip("scipy.optimize").linprog
 
 from repro.solvers.halfintegral import nemhauser_trotter_kernel, vertex_cover_lp
 

@@ -2,8 +2,9 @@
 
 import random
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.solvers.ilp import BudgetExceeded, solve_binary_ilp
 from repro.solvers.simplex import LpProblem, Sense

@@ -2,9 +2,10 @@
 
 import random
 
-import numpy as np
 import pytest
-from scipy.optimize import linprog
+
+np = pytest.importorskip("numpy")
+linprog = pytest.importorskip("scipy.optimize").linprog
 
 from repro.solvers.simplex import LpProblem, LpStatus, Sense, solve_lp
 

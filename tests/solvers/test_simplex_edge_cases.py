@@ -1,7 +1,8 @@
 """Edge-case and robustness tests for the simplex solver."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.solvers.simplex import LpProblem, LpStatus, Sense, solve_lp
 

@@ -1,0 +1,79 @@
+"""Optional dependencies must stay out of the default import graph.
+
+The pure-python legs (``REPRO_VECTOR=list``, no ``repro[cpsat]``) run on
+interpreters without numpy/scipy/ortools installed, so importing every
+non-extra module must succeed with those distributions absent.  The static
+half of this contract is the ``import-hygiene`` lint rule; this test is
+the runtime half: a subprocess installs a meta-path blocker that raises on
+any optional-dependency import, then imports the whole package —
+including the solvers that use numpy *lazily* — and exercises a
+numpy-free end-to-end measurement.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
+_PROBE = """
+import pkgutil
+import sys
+
+BLOCKED = {"numpy", "scipy", "ortools"}
+
+
+class Blocker:
+    def find_spec(self, name, path=None, target=None):
+        if name.split(".")[0] in BLOCKED:
+            raise ImportError(f"optional dependency {name!r} imported eagerly")
+        return None
+
+
+sys.meta_path.insert(0, Blocker())
+
+import repro
+
+# Import every module in the package except the numpy-native column
+# backend, which is the one designated eager home (only ever loaded
+# lazily, behind the availability probe).
+skipped = {"repro.session.vectorized"}
+for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+    if info.name in skipped:
+        continue
+    __import__(info.name)
+
+# The lazily-gated solvers must import (not solve) without numpy.
+from repro.solvers import ilp, simplex  # noqa: F401
+
+# And a real measurement must run end to end on the list backend.
+from repro import (
+    Database,
+    FunctionalDependency,
+    MeasurementSession,
+    Schema,
+    make_measure,
+)
+
+schema = Schema.from_dict({"R": ["zip", "city"]})
+db = Database.from_rows(schema, "R", [("1", "a"), ("1", "b"), ("1", "c")])
+fd = FunctionalDependency("R", ["zip"], ["city"])
+with MeasurementSession([fd], db) as session:
+    value = session.measure(make_measure("I_MI"))
+assert value == 3.0, value
+print("OK")
+"""
+
+
+def test_package_imports_without_optional_dependencies():
+    result = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        env={"PYTHONPATH": str(_SRC), "REPRO_VECTOR": "list", "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip().endswith("OK")
